@@ -1,0 +1,201 @@
+package yafim
+
+// Benchmark harness regenerating the paper's evaluation. One benchmark per
+// table/figure; each runs the corresponding experiment on scaled-down
+// datasets (the cmd/experiments binary runs them at paper scale) and
+// reports the simulated cluster time and speedups as custom metrics:
+//
+//	virt-sec      simulated cluster seconds for the run
+//	speedup-x     MRApriori total time over YAFIM total time
+//	benefit-x     ablation: feature-off time over feature-on time
+//
+// Absolute wall-clock ns/op measures the simulator itself, not the paper's
+// testbed; the custom metrics carry the reproduced results.
+
+import (
+	"testing"
+
+	"yafim/internal/experiments"
+)
+
+// benchEnv shrinks datasets so a full -bench=. sweep stays in the minutes
+// range while preserving every reported shape.
+func benchEnv() experiments.Env {
+	env := experiments.DefaultEnv()
+	env.Scale = 0.1
+	return env
+}
+
+func benchmarkNames() []string {
+	return []string{"MushRoom", "T10I4D100K", "Chess", "Pumsb_star"}
+}
+
+func mustBenchmark(b *testing.B, name string) experiments.Benchmark {
+	b.Helper()
+	bm, err := experiments.FindBenchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bm
+}
+
+// BenchmarkTable1DatasetProperties regenerates Table I.
+func BenchmarkTable1DatasetProperties(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig3PerIteration regenerates Fig. 3: per-pass execution time of
+// YAFIM vs MRApriori on each benchmark dataset.
+func BenchmarkFig3PerIteration(b *testing.B) {
+	env := benchEnv()
+	for _, name := range benchmarkNames() {
+		bm := mustBenchmark(b, name)
+		b.Run(name, func(b *testing.B) {
+			var lastSpeedup float64
+			var virtSecs float64
+			for i := 0; i < b.N; i++ {
+				c, err := experiments.RunComparison(bm, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastSpeedup = c.Speedup()
+				virtSecs = c.YAFIM.TotalDuration().Seconds()
+			}
+			b.ReportMetric(lastSpeedup, "speedup-x")
+			b.ReportMetric(virtSecs, "yafim-virt-sec")
+		})
+	}
+}
+
+// BenchmarkFig4Sizeup regenerates Fig. 4: total time at 1x..6x replication
+// on 48 cores.
+func BenchmarkFig4Sizeup(b *testing.B) {
+	env := benchEnv()
+	env.Scale = 0.05
+	for _, name := range benchmarkNames() {
+		bm := mustBenchmark(b, name)
+		b.Run(name, func(b *testing.B) {
+			var yGrow, mGrow float64
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.RunSizeup(bm, env, []int{1, 3, 6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				yGrow = float64(s.YAFIM[2]) / float64(s.YAFIM[0])
+				mGrow = float64(s.MRApriori[2]) / float64(s.MRApriori[0])
+			}
+			b.ReportMetric(yGrow, "yafim-growth-x")
+			b.ReportMetric(mGrow, "mr-growth-x")
+		})
+	}
+}
+
+// BenchmarkFig5Speedup regenerates Fig. 5: YAFIM total time at 4..12 nodes.
+func BenchmarkFig5Speedup(b *testing.B) {
+	env := benchEnv()
+	env.Scale = 0.05
+	for _, name := range benchmarkNames() {
+		bm := mustBenchmark(b, name)
+		b.Run(name, func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.RunSpeedup(bm, env, []int{4, 8, 12}, 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := s.Relative()
+				rel = r[len(r)-1]
+			}
+			b.ReportMetric(rel, "scaleup-4to12-x")
+		})
+	}
+}
+
+// BenchmarkFig6Medical regenerates Fig. 6: the medical application
+// comparison at Sup = 3%.
+func BenchmarkFig6Medical(b *testing.B) {
+	env := benchEnv()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.RunComparison(experiments.MedicalBenchmark(), env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = c.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// BenchmarkSummaryAverageSpeedup regenerates the abstract's headline claim
+// (about 18x on average across the four benchmarks).
+func BenchmarkSummaryAverageSpeedup(b *testing.B) {
+	env := benchEnv()
+	env.Scale = 0.05
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSummary(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = s.AverageSpeedup()
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+// BenchmarkAblationBroadcast measures §IV-C: broadcast variables vs naive
+// per-task shipping.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "MushRoom")
+	var benefit float64
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunBroadcastAblation(bm, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benefit = a.Benefit()
+	}
+	b.ReportMetric(benefit, "benefit-x")
+}
+
+// BenchmarkAblationCache measures §IV-B: the cached transactions RDD vs
+// re-reading input every pass.
+func BenchmarkAblationCache(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "MushRoom")
+	var benefit float64
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunCacheAblation(bm, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benefit = a.Benefit()
+	}
+	b.ReportMetric(benefit, "benefit-x")
+}
+
+// BenchmarkAblationHashTree measures §IV-A: hash-tree candidate matching vs
+// a brute-force candidate scan, on the candidate-heavy synthetic dataset.
+func BenchmarkAblationHashTree(b *testing.B) {
+	env := benchEnv()
+	env.Scale = 0.05
+	bm := mustBenchmark(b, "T10I4D100K")
+	var benefit float64
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunHashTreeAblation(bm, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benefit = a.Benefit()
+	}
+	b.ReportMetric(benefit, "benefit-x")
+}

@@ -1,0 +1,257 @@
+// Command experiments regenerates the paper's evaluation: Table I and
+// Figures 3-6, the headline average-speedup summary, and the §IV design
+// ablations. Every experiment verifies that YAFIM and the MapReduce
+// implementation find identical frequent itemsets before reporting timings.
+//
+// Usage:
+//
+//	experiments -exp all              # everything, paper-scale datasets
+//	experiments -exp fig3 -dataset Chess
+//	experiments -exp fig5 -scale 0.2  # quicker, scaled-down datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"yafim/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, or all")
+		ds      = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
+		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		seed    = flag.Int64("seed", 2014, "data generation seed")
+		maxRepl = flag.Int("maxrepl", 6, "fig4: largest replication factor")
+		tasks   = flag.Int("tasks", 0, "task-granularity hint (0 = 2x cluster cores)")
+		chart   = flag.Bool("chart", false, "also render each figure as an ASCII chart")
+		csvDir  = flag.String("csvdir", "", "also write each figure's series as CSV files here")
+	)
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Scale = *scale
+	env.Seed = *seed
+	env.Tasks = *tasks
+
+	benches := experiments.PaperBenchmarks()
+	if *ds != "" {
+		b, err := experiments.FindBenchmark(*ds)
+		if err != nil {
+			return err
+		}
+		benches = []experiments.Benchmark{b}
+	}
+
+	start := time.Now()
+	run := func(name string, fn func() error) error {
+		if *exp != "all" && *exp != name {
+			return nil
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := run("table1", func() error {
+		rows, err := experiments.RunTable1(env)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable1(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	writeCSVFile := func(name string, write func(f *os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := run("fig3", func() error {
+		for _, b := range benches {
+			c, err := experiments.RunComparison(b, env)
+			if err != nil {
+				return err
+			}
+			experiments.WriteComparison(os.Stdout, c)
+			if *chart {
+				experiments.ComparisonChart(os.Stdout, c)
+			}
+			if err := writeCSVFile("fig3_"+b.Name+".csv", func(f *os.File) error {
+				return experiments.ComparisonCSV(f, c)
+			}); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := run("fig4", func() error {
+		var reps []int
+		for r := 1; r <= *maxRepl; r++ {
+			reps = append(reps, r)
+		}
+		for _, b := range benches {
+			s, err := experiments.RunSizeup(b, env, reps)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSizeup(os.Stdout, s)
+			if *chart {
+				experiments.SizeupChart(os.Stdout, s)
+			}
+			if err := writeCSVFile("fig4_"+b.Name+".csv", func(f *os.File) error {
+				return experiments.SizeupCSV(f, s)
+			}); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := run("fig5", func() error {
+		for _, b := range benches {
+			s, err := experiments.RunSpeedup(b, env, []int{4, 6, 8, 10, 12}, 6)
+			if err != nil {
+				return err
+			}
+			experiments.WriteSpeedup(os.Stdout, s)
+			if *chart {
+				experiments.SpeedupChart(os.Stdout, s)
+			}
+			if err := writeCSVFile("fig5_"+b.Name+".csv", func(f *os.File) error {
+				return experiments.SpeedupCSV(f, s)
+			}); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := run("fig6", func() error {
+		c, err := experiments.RunComparison(experiments.MedicalBenchmark(), env)
+		if err != nil {
+			return err
+		}
+		experiments.WriteComparison(os.Stdout, c)
+		if *chart {
+			experiments.ComparisonChart(os.Stdout, c)
+		}
+		return writeCSVFile("fig6_medical.csv", func(f *os.File) error {
+			return experiments.ComparisonCSV(f, c)
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := run("summary", func() error {
+		s, err := experiments.RunSummary(env)
+		if err != nil {
+			return err
+		}
+		experiments.WriteSummary(os.Stdout, s)
+		return writeCSVFile("summary.csv", func(f *os.File) error {
+			return experiments.SummaryCSV(f, s)
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := run("variants", func() error {
+		for _, b := range benches {
+			v, err := experiments.RunVariants(b, env)
+			if err != nil {
+				return err
+			}
+			experiments.WriteVariants(os.Stdout, v)
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := run("ablations", func() error {
+		// Each design choice is measured where it matters: broadcast and the
+		// hash tree on the candidate-heavy synthetic data, the RDD cache on
+		// the largest input file.
+		heavy, err := experiments.FindBenchmark("T10I4D100K")
+		if err != nil {
+			return err
+		}
+		big, err := experiments.FindBenchmark("Pumsb_star")
+		if err != nil {
+			return err
+		}
+		for _, a := range []struct {
+			b  experiments.Benchmark
+			fn func(experiments.Benchmark, experiments.Env) (*experiments.Ablation, error)
+		}{
+			{heavy, experiments.RunBroadcastAblation},
+			{big, experiments.RunCacheAblation},
+			{heavy, experiments.RunHashTreeAblation},
+		} {
+			res, err := a.fn(a.b, env)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblation(os.Stdout, res)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if *exp == "check" {
+		fmt.Println("=== check: paper claims vs reproduction ===")
+		checks, err := experiments.RunShapeChecks(env)
+		if err != nil {
+			return err
+		}
+		if failed := experiments.WriteChecks(os.Stdout, checks); failed > 0 {
+			return fmt.Errorf("%d claims failed to reproduce", failed)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("done in %v (real time)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

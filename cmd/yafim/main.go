@@ -1,0 +1,140 @@
+// Command yafim mines frequent itemsets from a transaction file with any of
+// the repository's engines and optionally derives association rules.
+//
+// Usage:
+//
+//	yafim -input retail.dat -support 0.01 [-engine yafim] [-rules 0.8]
+//
+// The parallel engines (yafim, mapreduce) run on the paper's simulated
+// 12-node cluster and report per-pass virtual cluster time; the sequential
+// engines (sequential, eclat, fpgrowth) report real elapsed time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"yafim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "yafim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input    = flag.String("input", "", "transaction file in .dat format (required)")
+		support  = flag.Float64("support", 0.01, "relative minimum support in (0,1]")
+		engine   = flag.String("engine", "yafim", "engine: yafim, mapreduce, sequential, eclat, fpgrowth, son, dhp, partition, toivonen, disteclat, aprioritid")
+		mode     = flag.String("mode", "all", "itemsets to report: all, closed, maximal")
+		maxK     = flag.Int("maxk", 0, "stop after frequent itemsets of this size (0 = unbounded)")
+		nodes    = flag.Int("nodes", 0, "override simulated node count for parallel engines")
+		ruleConf = flag.Float64("rules", 0, "if > 0, derive association rules at this confidence")
+		top      = flag.Int("top", 20, "itemsets/rules to print per section")
+		quiet    = flag.Bool("q", false, "print only summary lines")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		return fmt.Errorf("-input is required")
+	}
+	eng, err := yafim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	db, err := yafim.LoadFile(filepath.Base(*input), *input)
+	if err != nil {
+		return err
+	}
+	st := db.ComputeStats()
+	fmt.Printf("%s: %d transactions, %d items, avg length %.1f\n",
+		*input, st.NumTransactions, st.NumItems, st.AvgLength)
+
+	opts := yafim.Options{Engine: eng, MaxK: *maxK}
+	if *nodes > 0 {
+		cfg := yafim.ClusterSpark()
+		if eng == yafim.EngineMapReduce {
+			cfg = yafim.ClusterHadoop()
+		}
+		cfg = cfg.WithNodes(*nodes)
+		opts.Cluster = &cfg
+	}
+	trace, err := yafim.Mine(db, *support, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("engine=%s support=%g%% frequent=%d maxk=%d time=%v\n",
+		eng, *support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
+		trace.TotalDuration().Round(1e6))
+	if !*quiet {
+		printPasses(trace)
+		switch *mode {
+		case "all":
+			printItemsets(trace.Result, *top)
+		case "closed":
+			printDerived("closed", trace.Result.Closed(), *top)
+		case "maximal":
+			printDerived("maximal", trace.Result.Maximal(), *top)
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
+	}
+	if *ruleConf > 0 {
+		rules, err := yafim.GenerateRules(trace.Result, *ruleConf, db.Len())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rules (confidence >= %g): %d\n", *ruleConf, len(rules))
+		for i, r := range rules {
+			if i >= *top {
+				fmt.Printf("  ... %d more\n", len(rules)-i)
+				break
+			}
+			fmt.Println(" ", r)
+		}
+	}
+	return nil
+}
+
+func printPasses(trace *yafim.Trace) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pass\tcandidates\tfrequent\ttime")
+	for _, p := range trace.Passes {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\n", p.K, p.Candidates, p.Frequent, p.Duration.Round(1e6))
+	}
+	tw.Flush()
+}
+
+func printDerived(kind string, sets []yafim.SetCount, top int) {
+	fmt.Printf("%s itemsets: %d\n", kind, len(sets))
+	for i, sc := range sets {
+		if i >= top {
+			fmt.Printf("  ... %d more\n", len(sets)-i)
+			break
+		}
+		fmt.Printf("  %v  sup=%d\n", sc.Set, sc.Count)
+	}
+}
+
+func printItemsets(res *yafim.Result, top int) {
+	printed := 0
+	for k := res.MaxK(); k >= 1 && printed < top; k-- {
+		for _, sc := range res.Frequent(k) {
+			if printed >= top {
+				break
+			}
+			fmt.Printf("  %v  sup=%d\n", sc.Set, sc.Count)
+			printed++
+		}
+	}
+	if total := res.NumFrequent(); total > printed {
+		fmt.Printf("  ... %d more (largest first)\n", total-printed)
+	}
+}

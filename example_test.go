@@ -1,0 +1,71 @@
+package yafim_test
+
+import (
+	"fmt"
+	"log"
+
+	"yafim"
+)
+
+// Example mines the textbook market-basket database with YAFIM on the
+// simulated paper cluster and prints the frequent itemsets of maximal size.
+func Example() {
+	db := yafim.NewDB("baskets", [][]yafim.Item{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+	trace, err := yafim.Mine(db, 2.0/9.0, yafim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequent itemsets: %d\n", trace.Result.NumFrequent())
+	for _, sc := range trace.Result.Frequent(trace.Result.MaxK()) {
+		fmt.Printf("%v appears in %d baskets\n", sc.Set, sc.Count)
+	}
+	// Output:
+	// frequent itemsets: 13
+	// {1 2 3} appears in 2 baskets
+	// {1 2 5} appears in 2 baskets
+}
+
+// ExampleGenerateRules derives association rules from a mining result.
+func ExampleGenerateRules() {
+	db := yafim.NewDB("baskets", [][]yafim.Item{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+	trace, err := yafim.Mine(db, 2.0/9.0, yafim.Options{Engine: yafim.EngineSequential})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := yafim.GenerateRules(trace.Result, 0.99, db.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rules[:3] {
+		fmt.Println(r)
+	}
+	// Output:
+	// {1 5} => {2} (sup=2 conf=1.00 lift=1.29)
+	// {2 5} => {1} (sup=2 conf=1.00 lift=1.50)
+	// {4} => {2} (sup=2 conf=1.00 lift=1.29)
+}
+
+// ExampleResult_Maximal condenses a result to its maximal itemsets.
+func ExampleResult_Maximal() {
+	db := yafim.NewDB("baskets", [][]yafim.Item{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+	trace, err := yafim.Mine(db, 2.0/9.0, yafim.Options{Engine: yafim.EngineEclat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range trace.Result.Maximal() {
+		fmt.Println(sc.Set)
+	}
+	// Output:
+	// {2 4}
+	// {1 2 3}
+	// {1 2 5}
+}

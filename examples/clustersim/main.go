@@ -1,0 +1,62 @@
+// Clustersim: a capacity-planning study using the deterministic cluster
+// model. The same workload is mined across cluster sizes and both runtime
+// profiles, answering "how many nodes do I need?" and "what does staying on
+// MapReduce cost me?" without touching a real cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"yafim"
+)
+
+func main() {
+	db, err := yafim.GenPumsbStar(0.5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Replicate to a heavier census-scale workload.
+	db = db.Replicate(4)
+	st := db.ComputeStats()
+	fmt.Printf("workload: %d transactions, %d items, avg length %.1f\n\n",
+		st.NumTransactions, st.NumItems, st.AvgLength)
+
+	const support = 0.65
+
+	fmt.Printf("%-7s %-7s %14s %14s %9s\n", "nodes", "cores", "YAFIM", "MapReduce", "ratio")
+	var prevY time.Duration
+	for _, nodes := range []int{2, 4, 8, 12, 16, 24} {
+		sparkCfg := yafim.ClusterSpark().WithNodes(nodes)
+		hadoopCfg := yafim.ClusterHadoop().WithNodes(nodes)
+
+		y, err := yafim.Mine(db, support, yafim.Options{Cluster: &sparkCfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := yafim.Mine(db, support, yafim.Options{
+			Engine: yafim.EngineMapReduce, Cluster: &hadoopCfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !y.Result.Equal(m.Result) {
+			log.Fatal("engines disagree — this should be impossible")
+		}
+		note := ""
+		if prevY > 0 {
+			note = fmt.Sprintf("  (YAFIM %.2fx vs previous row)", float64(prevY)/float64(y.TotalDuration()))
+		}
+		fmt.Printf("%-7d %-7d %14v %14v %8.1fx%s\n",
+			nodes, sparkCfg.TotalCores(),
+			y.TotalDuration().Round(10*time.Millisecond),
+			m.TotalDuration().Round(10*time.Millisecond),
+			float64(m.TotalDuration())/float64(y.TotalDuration()), note)
+		prevY = y.TotalDuration()
+	}
+
+	fmt.Println("\nreading the table: YAFIM keeps scaling with nodes because its time is")
+	fmt.Println("compute-bound on the cached RDD; MapReduce stays pinned near its per-job")
+	fmt.Println("startup floor times the number of passes, whatever the cluster size.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: mine a small in-memory market-basket database with YAFIM and
+// derive association rules — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yafim"
+)
+
+func main() {
+	// Nine shopping baskets over five products (the textbook example).
+	db := yafim.NewDB("baskets", [][]yafim.Item{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	})
+
+	// Mine all itemsets bought together in at least 2 of 9 baskets, on a
+	// small simulated cluster.
+	local := yafim.ClusterLocal()
+	trace, err := yafim.Mine(db, 2.0/9.0, yafim.Options{Cluster: &local})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d frequent itemsets (largest has %d items):\n",
+		trace.Result.NumFrequent(), trace.Result.MaxK())
+	for k := 1; k <= trace.Result.MaxK(); k++ {
+		for _, sc := range trace.Result.Frequent(k) {
+			fmt.Printf("  %v appears in %d baskets\n", sc.Set, sc.Count)
+		}
+	}
+
+	// Turn the itemsets into "people who buy X also buy Y" rules.
+	rules, err := yafim.GenerateRules(trace.Result, 0.7, db.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrules with confidence >= 70%%:\n")
+	for _, r := range rules {
+		fmt.Println(" ", r)
+	}
+
+	fmt.Printf("\nsimulated cluster time: %v across %d passes\n",
+		trace.TotalDuration().Round(1e6), len(trace.Passes))
+}

@@ -1,0 +1,3 @@
+module yafim
+
+go 1.22

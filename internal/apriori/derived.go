@@ -1,0 +1,62 @@
+package apriori
+
+// Derived itemset families. Both are standard condensed representations of
+// a mining result:
+//
+//   - a frequent itemset is MAXIMAL if no proper superset is frequent;
+//   - a frequent itemset is CLOSED if no proper superset has the same
+//     support (equivalently, it is the intersection of all transactions
+//     containing it).
+//
+// Maximal sets determine which itemsets are frequent; closed sets determine
+// the exact support of every frequent itemset. Both follow from the levels
+// of a Result by checking direct supersets only: support never increases
+// when an itemset grows, so a superset with equal support at any distance
+// implies a chain of direct supersets with equal support.
+
+// Maximal returns the maximal frequent itemsets, sorted level-wise then
+// lexicographically.
+func (r *Result) Maximal() []SetCount {
+	return r.filterByDirectSupersets(func(SetCount, SetCount) bool {
+		// Any frequent direct superset disqualifies.
+		return true
+	})
+}
+
+// Closed returns the closed frequent itemsets, sorted level-wise then
+// lexicographically.
+func (r *Result) Closed() []SetCount {
+	return r.filterByDirectSupersets(func(sub, super SetCount) bool {
+		return sub.Count == super.Count
+	})
+}
+
+// filterByDirectSupersets keeps itemsets for which no frequent direct
+// superset satisfies disqualifies(sub, super).
+func (r *Result) filterByDirectSupersets(disqualifies func(sub, super SetCount) bool) []SetCount {
+	var out []SetCount
+	for k := 1; k <= r.MaxK(); k++ {
+		level := r.Frequent(k)
+		if len(level) == 0 {
+			continue
+		}
+		excluded := make(map[string]bool)
+		for _, super := range r.Frequent(k + 1) {
+			for i := 0; i < super.Set.Len(); i++ {
+				sub := super.Set.Without(i)
+				if excluded[sub.Key()] {
+					continue
+				}
+				if c, ok := r.Support(sub); ok && disqualifies(SetCount{Set: sub, Count: c}, super) {
+					excluded[sub.Key()] = true
+				}
+			}
+		}
+		for _, sc := range level {
+			if !excluded[sc.Set.Key()] {
+				out = append(out, sc)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package apriori provides the level-wise machinery shared by every Apriori
+// implementation in this repository — candidate generation (the classic
+// join + prune ap_gen of Algorithm 3, line 2) — plus a sequential reference
+// miner used as the correctness oracle and the single-core baseline for
+// speedup measurements.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"yafim/internal/itemset"
+)
+
+// Gen generates the candidate (k+1)-itemsets C_{k+1} from the frequent
+// k-itemsets L_k, using the Apriori join and prune steps:
+//
+//   - join: two itemsets of L_k sharing their first k-1 items combine into a
+//     (k+1)-candidate;
+//   - prune: a candidate survives only if every k-subset is in L_k (the
+//     downward-closure property).
+//
+// The input need not be sorted; the output is lexicographically sorted and
+// duplicate-free. Gen returns an error if the inputs are not all the same
+// length.
+func Gen(lk []itemset.Itemset) ([]itemset.Itemset, error) {
+	if len(lk) == 0 {
+		return nil, nil
+	}
+	k := lk[0].Len()
+	if k < 1 {
+		return nil, fmt.Errorf("apriori: Gen over zero-length itemsets")
+	}
+	sorted := make([]itemset.Itemset, len(lk))
+	copy(sorted, lk)
+	itemset.SortSets(sorted)
+
+	known := make(map[string]struct{}, len(sorted))
+	for _, s := range sorted {
+		if s.Len() != k {
+			return nil, fmt.Errorf("apriori: Gen with mixed lengths %d and %d", k, s.Len())
+		}
+		known[s.Key()] = struct{}{}
+	}
+
+	var out []itemset.Itemset
+	for i := 0; i < len(sorted); i++ {
+		// After sorting, itemsets sharing the (k-1)-prefix are adjacent.
+		for j := i + 1; j < len(sorted); j++ {
+			if !samePrefix(sorted[i], sorted[j], k-1) {
+				break
+			}
+			cand := sorted[i].Extend(sorted[j][k-1])
+			if pruned(cand, known) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out, nil
+}
+
+func samePrefix(a, b itemset.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruned reports whether some k-subset of cand is missing from the known
+// frequent k-itemsets. The two subsets produced by the join itself (dropping
+// either of the last two items) are frequent by construction, but checking
+// them costs little next to map lookups for the rest.
+func pruned(cand itemset.Itemset, known map[string]struct{}) bool {
+	for i := 0; i < cand.Len(); i++ {
+		if _, ok := known[cand.Without(i).Key()]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCount pairs an itemset with its support count.
+type SetCount struct {
+	Set   itemset.Itemset
+	Count int
+}
+
+// Level holds the frequent itemsets of one size, sorted lexicographically.
+type Level struct {
+	K    int
+	Sets []SetCount
+}
+
+// Result is the complete output of a frequent itemset mining run: the
+// frequent itemsets of every size, level by level, plus the absolute
+// minimum support count used.
+type Result struct {
+	MinSupport int
+	Levels     []Level // Levels[i] holds the (i+1)-itemsets
+}
+
+// NumFrequent returns the total number of frequent itemsets across levels.
+func (r *Result) NumFrequent() int {
+	n := 0
+	for _, l := range r.Levels {
+		n += len(l.Sets)
+	}
+	return n
+}
+
+// MaxK returns the size of the largest frequent itemset (0 if none).
+func (r *Result) MaxK() int { return len(r.Levels) }
+
+// Frequent returns the itemsets of size k (1-based), or nil.
+func (r *Result) Frequent(k int) []SetCount {
+	if k < 1 || k > len(r.Levels) {
+		return nil
+	}
+	return r.Levels[k-1].Sets
+}
+
+// Support returns the support count of s and whether s is frequent.
+func (r *Result) Support(s itemset.Itemset) (int, bool) {
+	sets := r.Frequent(s.Len())
+	i := sort.Search(len(sets), func(i int) bool { return sets[i].Set.Compare(s) >= 0 })
+	if i < len(sets) && sets[i].Set.Equal(s) {
+		return sets[i].Count, true
+	}
+	return 0, false
+}
+
+// All flattens the result into a key -> count map, the form used to compare
+// two mining runs for exact equality.
+func (r *Result) All() map[string]int {
+	out := make(map[string]int, r.NumFrequent())
+	for _, l := range r.Levels {
+		for _, sc := range l.Sets {
+			out[sc.Set.Key()] = sc.Count
+		}
+	}
+	return out
+}
+
+// Equal reports whether two results contain exactly the same itemsets with
+// the same counts — the property the paper verifies between YAFIM and the
+// MapReduce implementation ("the experimental results of YAFIM are exactly
+// same as MRApriori").
+func (r *Result) Equal(o *Result) bool {
+	if r.NumFrequent() != o.NumFrequent() {
+		return false
+	}
+	theirs := o.All()
+	for key, count := range r.All() {
+		if theirs[key] != count {
+			return false
+		}
+	}
+	return true
+}
+
+// sortLevel orders a level's itemsets lexicographically in place.
+func sortLevel(sets []SetCount) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Set.Compare(sets[j].Set) < 0 })
+}
+
+// NewLevel builds a sorted Level from unsorted set/count pairs.
+func NewLevel(k int, sets []SetCount) Level {
+	sortLevel(sets)
+	return Level{K: k, Sets: sets}
+}

@@ -1,0 +1,93 @@
+package apriori
+
+import (
+	"fmt"
+
+	"yafim/internal/hashtree"
+	"yafim/internal/itemset"
+)
+
+// MinePartition runs Savasere, Omiecinski & Navathe's Partition algorithm,
+// the two-scan ancestor of the distributed SON algorithm (internal/son):
+//
+//  1. Scan one: the database is cut into numPartitions chunks, each mined
+//     independently at the same relative support. Any globally frequent
+//     itemset is locally frequent in at least one chunk (pigeonhole over
+//     supports), so the union of local results is a complete candidate set.
+//  2. Scan two: the candidates' supports are counted exactly over the full
+//     database, and those reaching the global threshold are returned.
+//
+// The result is exact and identical to plain Apriori's.
+func MinePartition(db *itemset.DB, minSupport float64, numPartitions int) (*Result, error) {
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("apriori: empty database %q", db.Name)
+	}
+	if numPartitions <= 0 {
+		numPartitions = 4
+	}
+	if numPartitions > db.Len() {
+		numPartitions = db.Len()
+	}
+	minCount := db.MinSupportCount(minSupport)
+
+	// Scan one: local mining per chunk.
+	candidates := make(map[string]itemset.Itemset)
+	n := db.Len()
+	for p := 0; p < numPartitions; p++ {
+		lo := p * n / numPartitions
+		hi := (p + 1) * n / numPartitions
+		if lo == hi {
+			continue
+		}
+		chunk := &itemset.DB{Name: fmt.Sprintf("%s[%d]", db.Name, p), Transactions: db.Transactions[lo:hi]}
+		// Rebuild via NewDB to recompute NumItems for the chunk.
+		rows := make([][]itemset.Item, hi-lo)
+		for i, tr := range db.Transactions[lo:hi] {
+			rows[i] = tr.Items
+		}
+		chunk = itemset.NewDB(chunk.Name, rows)
+		local, err := Mine(chunk, minSupport, Options{})
+		if err != nil {
+			return nil, fmt.Errorf("apriori: partition %d: %w", p, err)
+		}
+		for _, level := range local.Levels {
+			for _, sc := range level.Sets {
+				candidates[sc.Set.Key()] = sc.Set
+			}
+		}
+	}
+
+	res := &Result{MinSupport: minCount}
+	if len(candidates) == 0 {
+		return res, nil
+	}
+
+	// Scan two: exact counting of all candidates, grouped by length.
+	byLen := map[int][]itemset.Itemset{}
+	maxLen := 0
+	for _, s := range candidates {
+		byLen[s.Len()] = append(byLen[s.Len()], s)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	for k := 1; k <= maxLen; k++ {
+		cands := byLen[k]
+		if len(cands) == 0 {
+			continue
+		}
+		counts, _ := hashtree.Build(cands).CountSupports(db.Transactions)
+		var lk []SetCount
+		for i, c := range counts {
+			if c >= minCount {
+				lk = append(lk, SetCount{Set: cands[i], Count: c})
+			}
+		}
+		if len(lk) > 0 {
+			res.Levels = append(res.Levels, NewLevel(k, lk))
+		}
+	}
+	// Downward closure guarantees no gaps: a frequent k-itemset implies
+	// frequent subsets at every smaller length, so Levels is dense.
+	return res, nil
+}

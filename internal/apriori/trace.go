@@ -1,0 +1,32 @@
+package apriori
+
+import "time"
+
+// PassStat records one pass (one candidate length k) of a level-wise mining
+// run: candidate and frequent itemset counts plus the virtual time the
+// pass's jobs took. The per-pass duration series is what the paper plots in
+// Fig. 3 and Fig. 6.
+type PassStat struct {
+	K          int
+	Candidates int
+	Frequent   int
+	Duration   time.Duration
+}
+
+// Trace is the complete output of an instrumented mining run: the exact
+// frequent itemsets plus per-pass timing. Both parallel engines (YAFIM on
+// RDDs, MRApriori on MapReduce) produce a Trace, which is what makes their
+// results and timings directly comparable.
+type Trace struct {
+	Result *Result
+	Passes []PassStat
+}
+
+// TotalDuration sums the virtual time across all passes.
+func (t *Trace) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, p := range t.Passes {
+		d += p.Duration
+	}
+	return d
+}

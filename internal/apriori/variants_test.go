@@ -1,0 +1,211 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"yafim/internal/itemset"
+)
+
+func randomDB(rng *rand.Rand) *itemset.DB {
+	rows := make([][]itemset.Item, rng.Intn(40)+10)
+	for i := range rows {
+		n := rng.Intn(6) + 1
+		for j := 0; j < n; j++ {
+			rows[i] = append(rows[i], itemset.Item(rng.Intn(10)))
+		}
+	}
+	return itemset.NewDB("rand", rows)
+}
+
+func TestMineDHPClassic(t *testing.T) {
+	want, err := Mine(classicDB(), 2.0/9.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineDHP(classicDB(), 2.0/9.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("DHP disagrees:\n got %v\nwant %v", got.All(), want.All())
+	}
+}
+
+func TestMineDHPTinyTableStillExact(t *testing.T) {
+	// With very few buckets almost nothing is pruned, but collisions only
+	// ever over-count, so results must stay exact.
+	want, _ := Mine(classicDB(), 2.0/9.0, Options{})
+	got, err := MineDHP(classicDB(), 2.0/9.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("DHP with 2 buckets lost results")
+	}
+}
+
+func TestMineDHPEmptyDB(t *testing.T) {
+	if _, err := MineDHP(itemset.NewDB("e", nil), 0.5, 0); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+}
+
+// Property: DHP is exact on random databases across bucket counts.
+func TestMineDHPExactProperty(t *testing.T) {
+	f := func(seed int64, buckets16 uint16, sup8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := 0.1 + float64(sup8%8)/10.0
+		db := randomDB(rng)
+		want, err := Mine(db, sup, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := MineDHP(db, sup, int(buckets16%512)+1)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinePartitionClassic(t *testing.T) {
+	want, _ := Mine(classicDB(), 2.0/9.0, Options{})
+	for _, parts := range []int{1, 2, 3, 9, 100} {
+		got, err := MinePartition(classicDB(), 2.0/9.0, parts)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("parts=%d: Partition disagrees", parts)
+		}
+	}
+}
+
+func TestMinePartitionEmptyDB(t *testing.T) {
+	if _, err := MinePartition(itemset.NewDB("e", nil), 0.5, 2); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+}
+
+// Property: Partition is exact for any partition count.
+func TestMinePartitionExactProperty(t *testing.T) {
+	f := func(seed int64, parts8, sup8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := 0.1 + float64(sup8%8)/10.0
+		parts := int(parts8%8) + 1
+		db := randomDB(rng)
+		want, err := Mine(db, sup, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := MinePartition(db, sup, parts)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineToivonenClassic(t *testing.T) {
+	want, _ := Mine(classicDB(), 2.0/9.0, Options{})
+	got, err := MineToivonen(classicDB(), 2.0/9.0, ToivonenOptions{
+		SampleFraction: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("Toivonen disagrees:\n got %v\nwant %v", got.All(), want.All())
+	}
+}
+
+func TestMineToivonenInvalid(t *testing.T) {
+	if _, err := MineToivonen(itemset.NewDB("e", nil), 0.5, ToivonenOptions{}); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+	if _, err := MineToivonen(classicDB(), 0, ToivonenOptions{}); err == nil {
+		t.Fatal("zero support accepted")
+	}
+}
+
+// Property: Toivonen is exact regardless of seed, fraction and slack —
+// whether via a clean sample verification or the full-mine fallback.
+func TestMineToivonenExactProperty(t *testing.T) {
+	f := func(seed int64, frac8, sup8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := 0.15 + float64(sup8%7)/10.0
+		frac := 0.1 + float64(frac8%8)/10.0
+		db := randomDB(rng)
+		want, err := Mine(db, sup, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := MineToivonen(db, sup, ToivonenOptions{
+			SampleFraction: frac, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineAprioriTidClassic(t *testing.T) {
+	want, _ := Mine(classicDB(), 2.0/9.0, Options{})
+	got, err := MineAprioriTid(classicDB(), 2.0/9.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("AprioriTid disagrees:\n got %v\nwant %v", got.All(), want.All())
+	}
+}
+
+func TestMineAprioriTidEmptyDB(t *testing.T) {
+	if _, err := MineAprioriTid(itemset.NewDB("e", nil), 0.5); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+}
+
+func TestMineAprioriTidNothingFrequent(t *testing.T) {
+	db := itemset.NewDB("sparse", [][]itemset.Item{{1}, {2}, {3}})
+	got, err := MineAprioriTid(db, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFrequent() != 0 {
+		t.Fatalf("frequent = %d", got.NumFrequent())
+	}
+}
+
+// Property: AprioriTid is exact on random databases.
+func TestMineAprioriTidExactProperty(t *testing.T) {
+	f := func(seed int64, sup8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := 0.1 + float64(sup8%8)/10.0
+		db := randomDB(rng)
+		want, err := Mine(db, sup, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := MineAprioriTid(db, sup)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cluster describes the simulated hardware and runtime profiles on
+// which the execution engines are timed. A Config captures node count,
+// per-node cores, per-core compute rate, per-node disk and network
+// bandwidth, and the fixed overheads of launching tasks, stages and jobs.
+//
+// The presets reproduce the paper's evaluation environment: a 12-node
+// cluster of dual quad-core 2.4 GHz Xeons (8 cores and 24 GB per node),
+// running either a Hadoop-1.x-style MapReduce runtime (heavy per-job JVM and
+// JobTracker startup, per-task JVM launch) or a Spark-0.7-style runtime
+// (one-off application startup, lightweight per-stage scheduling).
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config is a complete description of a simulated cluster plus the runtime
+// profile (overheads) of the framework running on it.
+type Config struct {
+	Name string
+
+	// Hardware.
+	Nodes        int     // worker nodes
+	CoresPerNode int     // usable cores per node
+	CPUOpsPerSec float64 // abstract compute ops per second per core
+	DiskBWPerSec float64 // bytes/second of disk bandwidth per node
+	NetBWPerSec  float64 // bytes/second of network bandwidth per node
+
+	// Runtime profile.
+	TaskLaunch    time.Duration // fixed cost to launch one task
+	StageOverhead time.Duration // fixed cost to schedule one stage
+	JobStartup    time.Duration // fixed cost to start one job
+}
+
+// Validate reports a descriptive error if the configuration is unusable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %q: Nodes must be positive, got %d", c.Name, c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster %q: CoresPerNode must be positive, got %d", c.Name, c.CoresPerNode)
+	case c.CPUOpsPerSec <= 0:
+		return fmt.Errorf("cluster %q: CPUOpsPerSec must be positive, got %g", c.Name, c.CPUOpsPerSec)
+	case c.DiskBWPerSec <= 0:
+		return fmt.Errorf("cluster %q: DiskBWPerSec must be positive, got %g", c.Name, c.DiskBWPerSec)
+	case c.NetBWPerSec <= 0:
+		return fmt.Errorf("cluster %q: NetBWPerSec must be positive, got %g", c.Name, c.NetBWPerSec)
+	case c.TaskLaunch < 0 || c.StageOverhead < 0 || c.JobStartup < 0:
+		return fmt.Errorf("cluster %q: overheads must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// TotalCores returns the number of virtual cores across the cluster.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode }
+
+// WithNodes returns a copy of c resized to n nodes, used by the Fig. 5
+// node-scalability sweep.
+func (c Config) WithNodes(n int) Config {
+	out := c
+	out.Nodes = n
+	out.Name = fmt.Sprintf("%s/%dn", c.Name, n)
+	return out
+}
+
+// WithTotalCores returns a copy of c resized so that the cluster exposes
+// exactly total cores, keeping CoresPerNode fixed. total must be a multiple
+// of CoresPerNode.
+func (c Config) WithTotalCores(total int) Config {
+	if c.CoresPerNode <= 0 || total%c.CoresPerNode != 0 {
+		panic(fmt.Sprintf("cluster: %d cores not divisible into %d-core nodes", total, c.CoresPerNode))
+	}
+	return c.WithNodes(total / c.CoresPerNode)
+}
+
+// Hardware constants for the paper's testbed. The compute rates are an
+// abstract calibration: one "op" corresponds to roughly one item touched or
+// candidate-tree edge followed. The two runtimes execute the same logical
+// ops at very different speeds — Spark walks compact in-memory structures
+// (~4µs per op including JVM and scheduling overheads) while Hadoop
+// streaming re-parses text records, serialises Writables and spills through
+// local disk on every touch (~40µs per op). These per-op costs, together
+// with the per-job startup gap, land total mining times in the ranges the
+// paper reports and reproduce the shapes of its Figures 3-6.
+const (
+	sparkCPUOpsPerSec  = 250e3
+	hadoopCPUOpsPerSec = 25e3
+	paperDiskBW        = 80e6  // ~80 MB/s per-node spinning disk, 2012 era
+	paperNetBW         = 110e6 // ~gigabit ethernet per node
+)
+
+// PaperHadoop returns the paper's 12-node cluster running a Hadoop-1.0.4
+// style MapReduce runtime: every job pays JobTracker setup plus JVM spawns,
+// and every task launches its own JVM.
+func PaperHadoop() Config {
+	return Config{
+		Name:          "hadoop-12n",
+		Nodes:         12,
+		CoresPerNode:  8,
+		CPUOpsPerSec:  hadoopCPUOpsPerSec,
+		DiskBWPerSec:  paperDiskBW,
+		NetBWPerSec:   paperNetBW,
+		TaskLaunch:    300 * time.Millisecond,
+		StageOverhead: 1 * time.Second,
+		JobStartup:    15 * time.Second,
+	}
+}
+
+// PaperSpark returns the same hardware running a Spark-0.7.3 style runtime:
+// the application's executors are already resident, so a job is only a DAG
+// of cheaply scheduled stages with millisecond task dispatch.
+func PaperSpark() Config {
+	return Config{
+		Name:          "spark-12n",
+		Nodes:         12,
+		CoresPerNode:  8,
+		CPUOpsPerSec:  sparkCPUOpsPerSec,
+		DiskBWPerSec:  paperDiskBW,
+		NetBWPerSec:   paperNetBW,
+		TaskLaunch:    4 * time.Millisecond,
+		StageOverhead: 300 * time.Millisecond,
+		JobStartup:    300 * time.Millisecond,
+	}
+}
+
+// Local returns a small configuration convenient for unit tests and the
+// quickstart example: 2 nodes x 2 cores with negligible overheads.
+func Local() Config {
+	return Config{
+		Name:          "local-2n",
+		Nodes:         2,
+		CoresPerNode:  2,
+		CPUOpsPerSec:  sparkCPUOpsPerSec,
+		DiskBWPerSec:  paperDiskBW,
+		NetBWPerSec:   paperNetBW,
+		TaskLaunch:    time.Millisecond,
+		StageOverhead: 2 * time.Millisecond,
+		JobStartup:    5 * time.Millisecond,
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{PaperHadoop(), PaperSpark(), Local()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPaperClusterShape(t *testing.T) {
+	h := PaperHadoop()
+	if h.Nodes != 12 || h.CoresPerNode != 8 || h.TotalCores() != 96 {
+		t.Fatalf("paper cluster shape wrong: %+v", h)
+	}
+	s := PaperSpark()
+	if s.Nodes != 12 || s.TotalCores() != 96 {
+		t.Fatalf("spark cluster shape wrong: %+v", s)
+	}
+	if s.JobStartup >= h.JobStartup {
+		t.Fatalf("Spark job startup (%v) should be far below Hadoop's (%v)", s.JobStartup, h.JobStartup)
+	}
+	if h.JobStartup < 10*time.Second {
+		t.Fatalf("Hadoop job startup %v implausibly small for the era", h.JobStartup)
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	c := PaperSpark().WithNodes(4)
+	if c.Nodes != 4 || c.TotalCores() != 32 {
+		t.Fatalf("WithNodes: %+v", c)
+	}
+	if PaperSpark().Nodes != 12 {
+		t.Fatal("WithNodes mutated the preset")
+	}
+}
+
+func TestWithTotalCores(t *testing.T) {
+	c := PaperSpark().WithTotalCores(48)
+	if c.Nodes != 6 || c.TotalCores() != 48 {
+		t.Fatalf("WithTotalCores: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for indivisible core count")
+		}
+	}()
+	PaperSpark().WithTotalCores(50)
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{},
+		{Nodes: 1},
+		{Nodes: 1, CoresPerNode: 1},
+		{Nodes: 1, CoresPerNode: 1, CPUOpsPerSec: 1},
+		{Nodes: 1, CoresPerNode: 1, CPUOpsPerSec: 1, DiskBWPerSec: 1},
+		{Nodes: 1, CoresPerNode: 1, CPUOpsPerSec: 1, DiskBWPerSec: 1, NetBWPerSec: 1, TaskLaunch: -1},
+		{Nodes: -2, CoresPerNode: 1, CPUOpsPerSec: 1, DiskBWPerSec: 1, NetBWPerSec: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package datagen
+
+import "testing"
+
+func BenchmarkQuest(b *testing.B) {
+	cfg := QuestConfig{
+		Items: 870, Transactions: 10000, AvgTransLen: 10,
+		AvgPatternLen: 4, NumPatterns: 200, Corruption: 0.25, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quest(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanted(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MushroomLike(0.25, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package datagen synthesises the evaluation datasets. The repository is
+// offline, so the paper's benchmark inputs are replaced with seeded
+// generators that match their published shape:
+//
+//   - Quest implements the IBM Quest synthetic market-basket generator of
+//     Agrawal & Srikant (reference [20] of the paper), used to produce the
+//     T10I4D100K-equivalent dataset.
+//   - Planted produces categorical datasets with embedded high-support item
+//     blocks, matching the item/transaction counts and density of the UCI
+//     MushRoom and Chess datasets and of Pumsb_star (Table I), and a
+//     medical-case dataset for §V-D.
+//
+// All generators are deterministic given their seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"yafim/internal/itemset"
+)
+
+// QuestConfig parameterises the Quest generator. The conventional dataset
+// name TxIyDz means AvgTransLen=x, AvgPatternLen=y, Transactions=z.
+type QuestConfig struct {
+	Name          string
+	Items         int     // size of the item universe (N)
+	Transactions  int     // number of transactions (D)
+	AvgTransLen   int     // average transaction length (T)
+	AvgPatternLen int     // average length of maximal potential patterns (I)
+	NumPatterns   int     // number of maximal potential patterns (L)
+	Corruption    float64 // mean corruption level (patterns partially inserted)
+	Seed          int64
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (c QuestConfig) Validate() error {
+	switch {
+	case c.Items <= 0 || c.Transactions <= 0:
+		return fmt.Errorf("datagen: quest %q: need positive Items and Transactions", c.Name)
+	case c.AvgTransLen <= 0 || c.AvgPatternLen <= 0:
+		return fmt.Errorf("datagen: quest %q: need positive average lengths", c.Name)
+	case c.NumPatterns <= 0:
+		return fmt.Errorf("datagen: quest %q: need positive NumPatterns", c.Name)
+	case c.Corruption < 0 || c.Corruption >= 1:
+		return fmt.Errorf("datagen: quest %q: corruption %v out of [0,1)", c.Name, c.Corruption)
+	}
+	return nil
+}
+
+// Quest generates a market-basket database following the IBM Quest
+// procedure: a pool of maximal potential patterns is drawn (sizes Poisson
+// around AvgPatternLen, items partially inherited from the previous pattern,
+// weights exponential); each transaction draws a Poisson length and is
+// filled by sampling patterns by weight, inserting each only partially when
+// corrupted.
+func Quest(cfg QuestConfig) (*itemset.DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Item popularity for noise/pattern selection: exponential weights.
+	patterns := make([][]itemset.Item, cfg.NumPatterns)
+	weights := make([]float64, cfg.NumPatterns)
+	corrupt := make([]float64, cfg.NumPatterns)
+	var totalWeight float64
+	for p := range patterns {
+		size := poisson(rng, float64(cfg.AvgPatternLen))
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.Items {
+			size = cfg.Items
+		}
+		picked := make(map[itemset.Item]struct{}, size)
+		// Inherit a fraction of items from the previous pattern to create
+		// cross-pattern correlation, as the original generator does.
+		if p > 0 {
+			frac := rng.Float64() * 0.5
+			for _, it := range patterns[p-1] {
+				if len(picked) >= size {
+					break
+				}
+				if rng.Float64() < frac {
+					picked[it] = struct{}{}
+				}
+			}
+		}
+		for len(picked) < size {
+			picked[itemset.Item(rng.Intn(cfg.Items))] = struct{}{}
+		}
+		pat := make([]itemset.Item, 0, size)
+		for it := range picked {
+			pat = append(pat, it)
+		}
+		patterns[p] = itemset.Canonical(pat)
+		weights[p] = rng.ExpFloat64()
+		totalWeight += weights[p]
+		// Corruption level per pattern, clamped into [0, 1).
+		c := cfg.Corruption + 0.1*rng.NormFloat64()
+		corrupt[p] = math.Max(0, math.Min(0.9, c))
+	}
+	cum := make([]float64, cfg.NumPatterns)
+	acc := 0.0
+	for p, w := range weights {
+		acc += w / totalWeight
+		cum[p] = acc
+	}
+
+	rows := make([][]itemset.Item, cfg.Transactions)
+	for t := range rows {
+		target := poisson(rng, float64(cfg.AvgTransLen))
+		if target < 1 {
+			target = 1
+		}
+		var row []itemset.Item
+		have := map[itemset.Item]struct{}{}
+		for len(row) < target {
+			pat := patterns[pickWeighted(rng, cum)]
+			added := false
+			for _, it := range pat {
+				if rng.Float64() < corrupt[pickIdx(cum, rng)] {
+					continue // corrupted away
+				}
+				if _, dup := have[it]; dup {
+					continue
+				}
+				have[it] = struct{}{}
+				row = append(row, it)
+				added = true
+				if len(row) >= target+len(pat)/2 {
+					break
+				}
+			}
+			if !added {
+				// Degenerate draw; add one random item to guarantee progress.
+				it := itemset.Item(rng.Intn(cfg.Items))
+				if _, dup := have[it]; !dup {
+					have[it] = struct{}{}
+					row = append(row, it)
+				}
+			}
+		}
+		rows[t] = row
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("T%dI%dD%dK", cfg.AvgTransLen, cfg.AvgPatternLen, cfg.Transactions/1000)
+	}
+	return itemset.NewDB(name, rows), nil
+}
+
+func pickWeighted(rng *rand.Rand, cum []float64) int {
+	return pickIdx(cum, rng)
+}
+
+func pickIdx(cum []float64, rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method (means here are small).
+func poisson(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

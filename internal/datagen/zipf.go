@@ -1,0 +1,98 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"yafim/internal/itemset"
+)
+
+// ZipfConfig parameterises the skewed-popularity generator used for
+// click-stream and retail-style datasets: item popularity follows a Zipf
+// distribution, producing the long-tailed supports typical of web logs and
+// point-of-sale data (unlike the planted-block benchmarks, no structure is
+// planted — the head items alone create frequent co-occurrences).
+type ZipfConfig struct {
+	Name         string
+	Items        int
+	Transactions int
+	AvgLen       int
+	// S is the Zipf exponent (> 1); larger means more skew. Typical
+	// click-stream data sits near 1.5-2.
+	S    float64
+	Seed int64
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (c ZipfConfig) Validate() error {
+	switch {
+	case c.Items <= 1 || c.Transactions <= 0 || c.AvgLen <= 0:
+		return fmt.Errorf("datagen: zipf %q: need Items > 1 and positive Transactions, AvgLen", c.Name)
+	case c.AvgLen >= c.Items:
+		return fmt.Errorf("datagen: zipf %q: AvgLen %d must be below Items %d", c.Name, c.AvgLen, c.Items)
+	case c.S <= 1:
+		return fmt.Errorf("datagen: zipf %q: exponent S must exceed 1, got %v", c.Name, c.S)
+	}
+	return nil
+}
+
+// Zipf generates a database whose items are drawn per transaction from a
+// Zipf distribution over the item universe (duplicates collapse, so very
+// skewed draws yield slightly shorter transactions).
+func Zipf(cfg ZipfConfig) (*itemset.DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := rand.NewZipf(rng, cfg.S, 1, uint64(cfg.Items-1))
+	rows := make([][]itemset.Item, cfg.Transactions)
+	for t := range rows {
+		target := cfg.AvgLen + rng.Intn(5) - 2
+		if target < 1 {
+			target = 1
+		}
+		have := make(map[itemset.Item]struct{}, target)
+		row := make([]itemset.Item, 0, target)
+		// Duplicate draws count against the attempt budget so heavy skew
+		// cannot loop forever; transactions may come out short, as real
+		// click-streams do.
+		for attempts := 0; len(row) < target && attempts < 4*target; attempts++ {
+			it := itemset.Item(z.Uint64())
+			if _, dup := have[it]; dup {
+				continue
+			}
+			have[it] = struct{}{}
+			row = append(row, it)
+		}
+		rows[t] = row
+	}
+	return itemset.NewDB(cfg.Name, rows), nil
+}
+
+// KosarakLike generates a dataset with the shape of the kosarak
+// click-stream benchmark (41270 items, 990002 transactions, ~8 items per
+// click session, heavy Zipf skew). Not part of the paper's Table I; offered
+// because it is the standard "huge and skewed" FIM stress test.
+func KosarakLike(scale float64, seed int64) (*itemset.DB, error) {
+	return Zipf(ZipfConfig{
+		Name:         "Kosarak",
+		Items:        41270,
+		Transactions: scaleCount(990002, scale),
+		AvgLen:       8,
+		S:            1.6,
+		Seed:         seed,
+	})
+}
+
+// RetailLike generates a dataset with the shape of the retail market-basket
+// benchmark (16470 items, 88162 transactions, ~10 items per basket).
+func RetailLike(scale float64, seed int64) (*itemset.DB, error) {
+	return Zipf(ZipfConfig{
+		Name:         "Retail",
+		Items:        16470,
+		Transactions: scaleCount(88162, scale),
+		AvgLen:       10,
+		S:            1.4,
+		Seed:         seed,
+	})
+}

@@ -1,0 +1,53 @@
+// Package dataset bridges transaction databases and storage: staging a
+// database into the simulated DFS for the parallel engines, and loading
+// the conventional .dat text format from the local file system.
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"yafim/internal/dfs"
+	"yafim/internal/itemset"
+)
+
+// Stage writes db into the DFS at path in .dat text format, the input both
+// parallel engines read. It returns the number of bytes staged.
+func Stage(fs *dfs.FileSystem, path string, db *itemset.DB) (int64, error) {
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: encoding %s: %w", db.Name, err)
+	}
+	if err := fs.WriteFile(path, buf.Bytes(), nil); err != nil {
+		return 0, fmt.Errorf("dataset: staging %s: %w", db.Name, err)
+	}
+	return n, nil
+}
+
+// LoadFile reads a .dat transaction file from the local file system.
+func LoadFile(name, path string) (*itemset.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return itemset.ReadDB(name, f)
+}
+
+// SaveFile writes db to the local file system in .dat format.
+func SaveFile(db *itemset.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if _, err := db.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"yafim/internal/rdd"
+	"yafim/internal/yafim"
+)
+
+// Ablation is one design-choice experiment: the same benchmark mined with a
+// §IV feature on and off, results verified identical.
+type Ablation struct {
+	Name    string
+	Dataset string
+	With    time.Duration // feature enabled (the YAFIM design)
+	Without time.Duration // feature disabled
+}
+
+// Benefit returns Without/With — how much the feature buys.
+func (a *Ablation) Benefit() float64 {
+	if a.With <= 0 {
+		return 0
+	}
+	return float64(a.Without) / float64(a.With)
+}
+
+// RunBroadcastAblation compares broadcast variables (§IV-C) against naive
+// per-task shipping of the candidate hash tree.
+func RunBroadcastAblation(b Benchmark, env Env) (*Ablation, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	withBC, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: broadcast ablation: %w", err)
+	}
+	withoutBC, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+		yafim.Config{}, rdd.WithoutBroadcast())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: broadcast ablation: %w", err)
+	}
+	if !withBC.Result.Equal(withoutBC.Result) {
+		return nil, fmt.Errorf("experiments: broadcast ablation changed results on %s", b.Name)
+	}
+	return &Ablation{
+		Name: "broadcast", Dataset: b.Name,
+		With: withBC.TotalDuration(), Without: withoutBC.TotalDuration(),
+	}, nil
+}
+
+// RunCacheAblation compares the cached transactions RDD (§IV-B) against
+// re-reading the input from the DFS on every pass.
+func RunCacheAblation(b Benchmark, env Env) (*Ablation, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cached, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cache ablation: %w", err)
+	}
+	uncached, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+		yafim.Config{DisableCache: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cache ablation: %w", err)
+	}
+	if !cached.Result.Equal(uncached.Result) {
+		return nil, fmt.Errorf("experiments: cache ablation changed results on %s", b.Name)
+	}
+	return &Ablation{
+		Name: "rdd-cache", Dataset: b.Name,
+		With: cached.TotalDuration(), Without: uncached.TotalDuration(),
+	}, nil
+}
+
+// RunHashTreeAblation compares hash-tree candidate matching (§IV-A) against
+// a brute-force scan of every candidate per transaction.
+func RunHashTreeAblation(b Benchmark, env Env) (*Ablation, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tree, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hash-tree ablation: %w", err)
+	}
+	brute, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+		yafim.Config{BruteForceMatching: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hash-tree ablation: %w", err)
+	}
+	if !tree.Result.Equal(brute.Result) {
+		return nil, fmt.Errorf("experiments: hash-tree ablation changed results on %s", b.Name)
+	}
+	return &Ablation{
+		Name: "hash-tree", Dataset: b.Name,
+		With: tree.TotalDuration(), Without: brute.TotalDuration(),
+	}, nil
+}

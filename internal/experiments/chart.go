@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// seriesGlyphs mark successive series on a chart.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// RenderChart draws the series as an ASCII scatter/line chart, the textual
+// counterpart of the paper's figure panels. X positions are scaled to the
+// chart width, Y to its height; the legend maps glyphs to series names.
+func RenderChart(w io.Writer, title, xLabel, yLabel string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	fmt.Fprintf(w, "%s\n", title)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int(s.Y[i]/maxY*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	yTop := formatTick(maxY)
+	pad := len(yTop)
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = yTop
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, "0")
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(w, "%s  %s%s\n", strings.Repeat(" ", pad),
+		formatTick(minX), fmt.Sprintf("%*s", width-len(formatTick(minX)), formatTick(maxX)))
+	fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), xLabel, yLabel)
+	for si, s := range series {
+		fmt.Fprintf(w, "%s  %c = %s\n", strings.Repeat(" ", pad), seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// ComparisonChart renders a Fig. 3 / Fig. 6 panel: per-pass times of both
+// engines in seconds.
+func ComparisonChart(w io.Writer, c *Comparison) {
+	y := Series{Name: "YAFIM"}
+	m := Series{Name: "MRApriori"}
+	for i, p := range c.YAFIM.Passes {
+		y.X = append(y.X, float64(i+1))
+		y.Y = append(y.Y, p.Duration.Seconds())
+	}
+	for i, p := range c.MRApriori.Passes {
+		if p.Duration == 0 {
+			continue
+		}
+		m.X = append(m.X, float64(i+1))
+		m.Y = append(m.Y, p.Duration.Seconds())
+	}
+	RenderChart(w, fmt.Sprintf("%s (Sup = %g%%): per-pass execution time", c.Dataset, c.Support*100),
+		"pass", "seconds", []Series{y, m}, 60, 12)
+}
+
+// SizeupChart renders a Fig. 4 panel.
+func SizeupChart(w io.Writer, s *Sizeup) {
+	y := Series{Name: "YAFIM"}
+	m := Series{Name: "MRApriori"}
+	for i, rep := range s.Replications {
+		y.X = append(y.X, float64(rep))
+		y.Y = append(y.Y, s.YAFIM[i].Seconds())
+		m.X = append(m.X, float64(rep))
+		m.Y = append(m.Y, s.MRApriori[i].Seconds())
+	}
+	RenderChart(w, fmt.Sprintf("%s: sizeup (48 cores)", s.Dataset),
+		"replication of original data", "seconds", []Series{y, m}, 60, 12)
+}
+
+// SpeedupChart renders a Fig. 5 panel.
+func SpeedupChart(w io.Writer, s *Speedup) {
+	line := Series{Name: "YAFIM"}
+	for i := range s.Nodes {
+		line.X = append(line.X, float64(s.Cores[i]))
+		line.Y = append(line.Y, s.Durations[i].Seconds())
+	}
+	RenderChart(w, fmt.Sprintf("%s: node scalability", s.Dataset),
+		"cores", "seconds", []Series{line}, 60, 12)
+}

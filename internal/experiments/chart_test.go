@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"yafim/internal/apriori"
+	"yafim/internal/itemset"
+)
+
+func sampleComparison() *Comparison {
+	mk := func(durs ...time.Duration) *apriori.Trace {
+		tr := &apriori.Trace{Result: &apriori.Result{}}
+		for i, d := range durs {
+			tr.Passes = append(tr.Passes, apriori.PassStat{
+				K: i + 1, Candidates: 10 * (i + 1), Frequent: 5, Duration: d,
+			})
+		}
+		return tr
+	}
+	return &Comparison{
+		Dataset: "Sample", Support: 0.3,
+		DB:        itemset.Stats{NumTransactions: 100, NumItems: 10},
+		YAFIM:     mk(time.Second, 800*time.Millisecond),
+		MRApriori: mk(20*time.Second, 19*time.Second),
+	}
+}
+
+func TestRenderChartBasics(t *testing.T) {
+	var sb strings.Builder
+	RenderChart(&sb, "title", "xs", "ys", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}},
+	}, 40, 10)
+	out := sb.String()
+	for _, want := range []string{"title", "x: xs, y: ys", "* = a", "o = b", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart has no plotted points")
+	}
+}
+
+func TestRenderChartEmptyAndDegenerate(t *testing.T) {
+	var sb strings.Builder
+	RenderChart(&sb, "empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart not flagged")
+	}
+	sb.Reset()
+	// Single point, zero Y: must not divide by zero or panic.
+	RenderChart(&sb, "one", "x", "y", []Series{{Name: "a", X: []float64{5}, Y: []float64{0}}}, 1, 1)
+	if !strings.Contains(sb.String(), "* = a") {
+		t.Error("degenerate chart lost its legend")
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	c := sampleComparison()
+	var sb strings.Builder
+	ComparisonChart(&sb, c)
+	if !strings.Contains(sb.String(), "per-pass execution time") {
+		t.Error("comparison chart missing title")
+	}
+
+	sb.Reset()
+	SizeupChart(&sb, &Sizeup{
+		Dataset:      "Sample",
+		Replications: []int{1, 2},
+		YAFIM:        []time.Duration{time.Second, 2 * time.Second},
+		MRApriori:    []time.Duration{10 * time.Second, 20 * time.Second},
+	})
+	if !strings.Contains(sb.String(), "sizeup") {
+		t.Error("sizeup chart missing title")
+	}
+
+	sb.Reset()
+	SpeedupChart(&sb, &Speedup{
+		Dataset: "Sample", Nodes: []int{4, 8}, Cores: []int{32, 64},
+		Durations: []time.Duration{8 * time.Second, 4 * time.Second},
+	})
+	if !strings.Contains(sb.String(), "node scalability") {
+		t.Error("speedup chart missing title")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	c := sampleComparison()
+	var sb strings.Builder
+	if err := ComparisonCSV(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 { // header + 2 passes
+		t.Fatalf("comparison csv = %q", sb.String())
+	}
+	if !strings.HasPrefix(lines[1], "Sample,0.3,1,10,5,1.000000,20.000000") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+
+	sb.Reset()
+	if err := SizeupCSV(&sb, &Sizeup{
+		Dataset: "S", Replications: []int{1}, YAFIM: []time.Duration{time.Second},
+		MRApriori: []time.Duration{2 * time.Second},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "S,1,1.000000,2.000000") {
+		t.Errorf("sizeup csv = %q", sb.String())
+	}
+
+	sb.Reset()
+	if err := SpeedupCSV(&sb, &Speedup{
+		Dataset: "S", Nodes: []int{4}, Cores: []int{32},
+		Durations: []time.Duration{3 * time.Second},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "S,4,32,3.000000,1.0000") {
+		t.Errorf("speedup csv = %q", sb.String())
+	}
+
+	sb.Reset()
+	if err := SummaryCSV(&sb, &Summary{Comparisons: []*Comparison{c}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Sample,0.3,1.800000,39.000000") {
+		t.Errorf("summary csv = %q", sb.String())
+	}
+}

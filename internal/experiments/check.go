@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ClaimCheck is the outcome of verifying one of the paper's claims against
+// a reproduction run.
+type ClaimCheck struct {
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// RunShapeChecks executes the full evaluation and asserts every qualitative
+// claim of the paper — the same properties the test suite enforces, but as
+// a user-facing report. It returns one check per claim; an error means an
+// experiment could not run at all.
+func RunShapeChecks(env Env) ([]ClaimCheck, error) {
+	var checks []ClaimCheck
+	add := func(claim string, pass bool, detail string, args ...any) {
+		checks = append(checks, ClaimCheck{Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// Fig. 3 + summary: YAFIM wins every pass, order-of-magnitude totals.
+	summary, err := RunSummary(env)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range summary.Comparisons {
+		everyPass := true
+		n := min(len(c.YAFIM.Passes), len(c.MRApriori.Passes))
+		for i := 0; i < n; i++ {
+			if c.MRApriori.Passes[i].Duration == 0 {
+				continue
+			}
+			if c.YAFIM.Passes[i].Duration >= c.MRApriori.Passes[i].Duration {
+				everyPass = false
+			}
+		}
+		add(fmt.Sprintf("Fig.3 %s: YAFIM faster on every pass", c.Dataset),
+			everyPass, "%d passes compared", n)
+		add(fmt.Sprintf("Fig.3 %s: order-of-magnitude total speedup", c.Dataset),
+			c.Speedup() >= 5, "%.1fx (YAFIM %v vs MRApriori %v)",
+			c.Speedup(), c.YAFIM.TotalDuration().Round(time.Millisecond),
+			c.MRApriori.TotalDuration().Round(time.Millisecond))
+		last := c.YAFIM.Passes[len(c.YAFIM.Passes)-1].Duration
+		add(fmt.Sprintf("Fig.3 %s: late YAFIM pass under the MapReduce job floor", c.Dataset),
+			last < env.Hadoop.JobStartup, "last pass %v vs %v job startup",
+			last.Round(time.Millisecond), env.Hadoop.JobStartup)
+	}
+	avg := summary.AverageSpeedup()
+	add("Abstract: ~18x average speedup", avg >= 10 && avg <= 40, "measured %.1fx", avg)
+
+	// Fig. 4: MRApriori's slope much steeper than YAFIM's.
+	for _, b := range PaperBenchmarks() {
+		s, err := RunSizeup(b, env, []int{1, 3, 6})
+		if err != nil {
+			return nil, err
+		}
+		yIncr := s.YAFIM[2] - s.YAFIM[0]
+		mIncr := s.MRApriori[2] - s.MRApriori[0]
+		add(fmt.Sprintf("Fig.4 %s: MRApriori grows much faster with data", b.Name),
+			mIncr > 3*yIncr, "slopes +%v vs +%v over 1x..6x",
+			mIncr.Round(time.Millisecond), yIncr.Round(time.Millisecond))
+	}
+
+	// Fig. 5: YAFIM speeds up monotonically with nodes.
+	for _, b := range PaperBenchmarks() {
+		s, err := RunSpeedup(b, env, []int{4, 8, 12}, 6)
+		if err != nil {
+			return nil, err
+		}
+		monotone := true
+		for i := 1; i < len(s.Durations); i++ {
+			if s.Durations[i] > s.Durations[i-1] {
+				monotone = false
+			}
+		}
+		rel := s.Relative()
+		add(fmt.Sprintf("Fig.5 %s: more nodes never slow YAFIM", b.Name),
+			monotone, "4n %v -> 12n %v (%.2fx)",
+			s.Durations[0].Round(time.Millisecond),
+			s.Durations[len(s.Durations)-1].Round(time.Millisecond), rel[len(rel)-1])
+	}
+
+	// Fig. 6: medical application.
+	med, err := RunComparison(MedicalBenchmark(), env)
+	if err != nil {
+		return nil, err
+	}
+	add("Fig.6 medical: order-of-magnitude speedup at Sup=3%",
+		med.Speedup() >= 5, "measured %.1fx", med.Speedup())
+	p := med.YAFIM.Passes
+	shrinks := len(p) >= 3 && p[len(p)-1].Duration < p[1].Duration
+	add("Fig.6 medical: YAFIM iterations get cheaper as candidates thin out",
+		shrinks, "pass2 %v -> last %v",
+		p[1].Duration.Round(time.Millisecond), p[len(p)-1].Duration.Round(time.Millisecond))
+
+	return checks, nil
+}
+
+// WriteChecks renders the claim report and returns how many checks failed.
+func WriteChecks(w io.Writer, checks []ClaimCheck) int {
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "[%s] %s (%s)\n", status, c.Claim, c.Detail)
+	}
+	fmt.Fprintf(w, "%d/%d claims reproduced\n", len(checks)-failed, len(checks))
+	return failed
+}

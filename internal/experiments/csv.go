@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV exporters emit the exact series behind each figure so external
+// plotting tools can redraw the paper's panels from reproduction data.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func secs(d interface{ Seconds() float64 }) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
+}
+
+// ComparisonCSV emits one row per pass of a Fig. 3 / Fig. 6 comparison.
+func ComparisonCSV(w io.Writer, c *Comparison) error {
+	header := []string{"dataset", "support", "pass", "candidates", "frequent",
+		"yafim_seconds", "mrapriori_seconds"}
+	var rows [][]string
+	n := max(len(c.YAFIM.Passes), len(c.MRApriori.Passes))
+	for i := 0; i < n; i++ {
+		row := []string{c.Dataset, fmt.Sprintf("%g", c.Support), strconv.Itoa(i + 1), "", "", "", ""}
+		if i < len(c.YAFIM.Passes) {
+			p := c.YAFIM.Passes[i]
+			row[3] = strconv.Itoa(p.Candidates)
+			row[4] = strconv.Itoa(p.Frequent)
+			row[5] = secs(p.Duration)
+		}
+		if i < len(c.MRApriori.Passes) {
+			row[6] = secs(c.MRApriori.Passes[i].Duration)
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// SizeupCSV emits one row per replication factor of a Fig. 4 panel.
+func SizeupCSV(w io.Writer, s *Sizeup) error {
+	header := []string{"dataset", "replication", "yafim_seconds", "mrapriori_seconds"}
+	var rows [][]string
+	for i, rep := range s.Replications {
+		rows = append(rows, []string{
+			s.Dataset, strconv.Itoa(rep), secs(s.YAFIM[i]), secs(s.MRApriori[i]),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// SpeedupCSV emits one row per node count of a Fig. 5 panel.
+func SpeedupCSV(w io.Writer, s *Speedup) error {
+	header := []string{"dataset", "nodes", "cores", "yafim_seconds", "speedup"}
+	rel := s.Relative()
+	var rows [][]string
+	for i := range s.Nodes {
+		rows = append(rows, []string{
+			s.Dataset, strconv.Itoa(s.Nodes[i]), strconv.Itoa(s.Cores[i]),
+			secs(s.Durations[i]), strconv.FormatFloat(rel[i], 'f', 4, 64),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// SummaryCSV emits one row per benchmark of the headline summary.
+func SummaryCSV(w io.Writer, s *Summary) error {
+	header := []string{"dataset", "support", "yafim_seconds", "mrapriori_seconds", "speedup"}
+	var rows [][]string
+	for _, c := range s.Comparisons {
+		rows = append(rows, []string{
+			c.Dataset, fmt.Sprintf("%g", c.Support),
+			secs(c.YAFIM.TotalDuration()), secs(c.MRApriori.TotalDuration()),
+			strconv.FormatFloat(c.Speedup(), 'f', 4, 64),
+		})
+	}
+	return writeCSV(w, header, rows)
+}

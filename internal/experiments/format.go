@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// fmtDur renders a duration with sensible precision for report tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.0fms", float64(d)/float64(time.Millisecond))
+	}
+}
+
+// WriteTable1 renders the dataset-properties table (Table I).
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tItems\tTransactions\tAvgLen")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\n", r.Dataset, r.NumItems, r.NumTransactions, r.AvgLength)
+	}
+	tw.Flush()
+}
+
+// WriteComparison renders a Fig. 3 / Fig. 6 panel: per-pass execution time
+// of both engines plus candidate and frequent counts.
+func WriteComparison(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "%s (Sup = %g%%): %d transactions, %d items\n",
+		c.Dataset, c.Support*100, c.DB.NumTransactions, c.DB.NumItems)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pass\tcandidates\tfrequent\tYAFIM\tMRApriori\tratio")
+	n := len(c.YAFIM.Passes)
+	if len(c.MRApriori.Passes) > n {
+		n = len(c.MRApriori.Passes)
+	}
+	for i := 0; i < n; i++ {
+		var cands, freq int
+		var y, m time.Duration
+		if i < len(c.YAFIM.Passes) {
+			cands, freq, y = c.YAFIM.Passes[i].Candidates, c.YAFIM.Passes[i].Frequent, c.YAFIM.Passes[i].Duration
+		}
+		if i < len(c.MRApriori.Passes) {
+			m = c.MRApriori.Passes[i].Duration
+		}
+		ratio := "-"
+		if y > 0 && m > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(m)/float64(y))
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%s\t%s\n", i+1, cands, freq, fmtDur(y), fmtDur(m), ratio)
+	}
+	fmt.Fprintf(tw, "total\t\t%d\t%s\t%s\t%.1fx\n",
+		c.YAFIM.Result.NumFrequent(), fmtDur(c.YAFIM.TotalDuration()),
+		fmtDur(c.MRApriori.TotalDuration()), c.Speedup())
+	tw.Flush()
+}
+
+// WriteSummary renders the headline average-speedup table.
+func WriteSummary(w io.Writer, s *Summary) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tSup\tYAFIM total\tMRApriori total\tspeedup")
+	for _, c := range s.Comparisons {
+		fmt.Fprintf(tw, "%s\t%g%%\t%s\t%s\t%.1fx\n",
+			c.Dataset, c.Support*100, fmtDur(c.YAFIM.TotalDuration()),
+			fmtDur(c.MRApriori.TotalDuration()), c.Speedup())
+	}
+	fmt.Fprintf(tw, "average\t\t\t\t%.1fx\n", s.AverageSpeedup())
+	tw.Flush()
+}
+
+// WriteSizeup renders one Fig. 4 panel.
+func WriteSizeup(w io.Writer, s *Sizeup) {
+	fmt.Fprintf(w, "%s sizeup (48 cores)\n", s.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "replication\tYAFIM\tMRApriori")
+	for i, times := range s.Replications {
+		fmt.Fprintf(tw, "%dx\t%s\t%s\n", times, fmtDur(s.YAFIM[i]), fmtDur(s.MRApriori[i]))
+	}
+	tw.Flush()
+}
+
+// WriteSpeedup renders one Fig. 5 panel.
+func WriteSpeedup(w io.Writer, s *Speedup) {
+	fmt.Fprintf(w, "%s node speedup (YAFIM)\n", s.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "nodes\tcores\ttime\tspeedup")
+	rel := s.Relative()
+	for i := range s.Nodes {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.2fx\n", s.Nodes[i], s.Cores[i], fmtDur(s.Durations[i]), rel[i])
+	}
+	tw.Flush()
+}
+
+// WriteAblation renders one design-choice comparison.
+func WriteAblation(w io.Writer, a *Ablation) {
+	fmt.Fprintf(w, "%s on %s: with %s, without %s (%.1fx benefit)\n",
+		a.Name, a.Dataset, fmtDur(a.With), fmtDur(a.Without), a.Benefit())
+}

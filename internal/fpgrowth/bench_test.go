@@ -1,0 +1,20 @@
+package fpgrowth
+
+import (
+	"testing"
+
+	"yafim/internal/datagen"
+)
+
+func BenchmarkMine(b *testing.B) {
+	db, err := datagen.MushroomLike(0.25, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(db, 0.35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package fpgrowth implements Han, Pei & Yin's FP-Growth: frequent itemset
+// mining without candidate generation, via a compressed FP-tree and
+// recursive conditional-tree projection.
+//
+// Like the Eclat package, it doubles as a related-work baseline (reference
+// [9] of the paper) and as an independent correctness oracle for the Apriori
+// family.
+package fpgrowth
+
+import (
+	"fmt"
+	"sort"
+
+	"yafim/internal/apriori"
+	"yafim/internal/itemset"
+)
+
+type node struct {
+	item     itemset.Item
+	count    int
+	parent   *node
+	children map[itemset.Item]*node
+	next     *node // header-table chain
+}
+
+type tree struct {
+	root    *node
+	headers map[itemset.Item]*node // head of each item's node chain
+	counts  map[itemset.Item]int   // total count per item in this tree
+}
+
+func newTree() *tree {
+	return &tree{
+		root:    &node{children: map[itemset.Item]*node{}},
+		headers: map[itemset.Item]*node{},
+		counts:  map[itemset.Item]int{},
+	}
+}
+
+// insert adds one (ordered) item path with the given count.
+func (t *tree) insert(items []itemset.Item, count int) {
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &node{item: it, parent: cur, children: map[itemset.Item]*node{}}
+			child.next = t.headers[it]
+			t.headers[it] = child
+			cur.children[it] = child
+		}
+		child.count += count
+		t.counts[it] += count
+		cur = child
+	}
+}
+
+// Mine runs FP-Growth over db at the given relative minimum support.
+func Mine(db *itemset.DB, minSupport float64) (*apriori.Result, error) {
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("fpgrowth: empty database %q", db.Name)
+	}
+	minCount := db.MinSupportCount(minSupport)
+
+	// First pass: global item frequencies.
+	freq := make(map[itemset.Item]int)
+	for _, tr := range db.Transactions {
+		for _, it := range tr.Items {
+			freq[it]++
+		}
+	}
+	// Global ordering: descending frequency, item id as tiebreak. A single
+	// fixed order keeps all conditional trees consistent.
+	rank := makeRank(freq, minCount)
+
+	// Second pass: insert frequency-ordered, infrequent-pruned transactions.
+	t := newTree()
+	for _, tr := range db.Transactions {
+		path := project(tr.Items, rank)
+		if len(path) > 0 {
+			t.insert(path, 1)
+		}
+	}
+
+	byLevel := map[int][]apriori.SetCount{}
+	emit := func(set itemset.Itemset, count int) {
+		byLevel[set.Len()] = append(byLevel[set.Len()], apriori.SetCount{Set: set, Count: count})
+	}
+	growth(t, nil, minCount, emit)
+
+	res := &apriori.Result{MinSupport: minCount}
+	for k := 1; ; k++ {
+		sets, ok := byLevel[k]
+		if !ok {
+			break
+		}
+		res.Levels = append(res.Levels, apriori.NewLevel(k, sets))
+	}
+	return res, nil
+}
+
+// makeRank assigns each frequent item its position in the global descending
+// frequency order; infrequent items are absent.
+func makeRank(freq map[itemset.Item]int, minCount int) map[itemset.Item]int {
+	var items []itemset.Item
+	for it, c := range freq {
+		if c >= minCount {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if freq[items[i]] != freq[items[j]] {
+			return freq[items[i]] > freq[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	rank := make(map[itemset.Item]int, len(items))
+	for i, it := range items {
+		rank[it] = i
+	}
+	return rank
+}
+
+// project filters a transaction to frequent items and orders it by rank.
+func project(items itemset.Itemset, rank map[itemset.Item]int) []itemset.Item {
+	out := make([]itemset.Item, 0, len(items))
+	for _, it := range items {
+		if _, ok := rank[it]; ok {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rank[out[i]] < rank[out[j]] })
+	return out
+}
+
+// growth recursively mines t, emitting every frequent itemset that extends
+// suffix.
+func growth(t *tree, suffix itemset.Itemset, minCount int, emit func(itemset.Itemset, int)) {
+	// Process header items; order does not affect the result because each
+	// extension is independent.
+	items := make([]itemset.Item, 0, len(t.headers))
+	for it := range t.headers {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	for _, it := range items {
+		total := t.counts[it]
+		if total < minCount {
+			continue
+		}
+		set := itemset.New(append(suffix.Clone(), it)...)
+		emit(set, total)
+
+		// Build the conditional tree from it's prefix paths.
+		cond := newTree()
+		for n := t.headers[it]; n != nil; n = n.next {
+			var path []itemset.Item
+			for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf-to-root; reverse to root-to-leaf insertion order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			if len(path) > 0 {
+				cond.insert(path, n.count)
+			}
+		}
+		// Prune items that fell below support in the conditional tree.
+		prune(cond, minCount)
+		if len(cond.headers) > 0 {
+			growth(cond, set, minCount, emit)
+		}
+	}
+}
+
+// prune removes infrequent items from a conditional tree by rebuilding it
+// without them, which keeps the node invariants simple.
+func prune(t *tree, minCount int) {
+	infrequent := false
+	for _, c := range t.counts {
+		if c < minCount {
+			infrequent = true
+			break
+		}
+	}
+	if !infrequent {
+		return
+	}
+	counts := t.counts // snapshot before the rebuild replaces *t
+	keep := func(it itemset.Item) bool { return counts[it] >= minCount }
+	paths := collectPaths(t)
+	*t = *newTree()
+	for _, p := range paths {
+		var filtered []itemset.Item
+		for _, it := range p.items {
+			if keep(it) {
+				filtered = append(filtered, it)
+			}
+		}
+		if len(filtered) > 0 {
+			t.insert(filtered, p.count)
+		}
+	}
+}
+
+type path struct {
+	items []itemset.Item
+	count int
+}
+
+// collectPaths flattens a tree back into weighted root-to-leaf paths using
+// the standard inclusion-exclusion on node counts.
+func collectPaths(t *tree) []path {
+	var out []path
+	var walk func(n *node, prefix []itemset.Item)
+	walk = func(n *node, prefix []itemset.Item) {
+		childSum := 0
+		for _, c := range n.children {
+			childSum += c.count
+		}
+		if n.parent != nil && n.count > childSum {
+			items := append(append([]itemset.Item(nil), prefix...), n.item)
+			out = append(out, path{items: items, count: n.count - childSum})
+		}
+		for _, c := range sortedChildren(n) {
+			var next []itemset.Item
+			if n.parent != nil {
+				next = append(append([]itemset.Item(nil), prefix...), n.item)
+			}
+			walk(c, next)
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+func sortedChildren(n *node) []*node {
+	out := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].item < out[j].item })
+	return out
+}

@@ -1,0 +1,118 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"yafim/internal/apriori"
+	"yafim/internal/itemset"
+)
+
+func classicDB() *itemset.DB {
+	return itemset.NewDB("classic", [][]itemset.Item{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+}
+
+func TestMineMatchesApriori(t *testing.T) {
+	want, err := apriori.Mine(classicDB(), 2.0/9.0, apriori.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(classicDB(), 2.0/9.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("fp-growth disagrees with apriori:\n got %v\nwant %v", got.All(), want.All())
+	}
+}
+
+func TestMineSingleItemTransactions(t *testing.T) {
+	db := itemset.NewDB("singles", [][]itemset.Item{{1}, {1}, {2}, {1}})
+	res, err := Mine(db, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxK() != 1 {
+		t.Fatalf("MaxK = %d", res.MaxK())
+	}
+	if c, ok := res.Support(itemset.New(1)); !ok || c != 3 {
+		t.Fatalf("support(1) = %d, %v", c, ok)
+	}
+	if _, ok := res.Support(itemset.New(2)); ok {
+		t.Fatal("item 2 reported frequent at 50%")
+	}
+}
+
+func TestMineIdenticalTransactions(t *testing.T) {
+	// A single shared path stresses the count/childSum bookkeeping.
+	db := itemset.NewDB("same", [][]itemset.Item{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3},
+	})
+	res, err := Mine(db, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 7 { // every non-empty subset of {1,2,3}
+		t.Fatalf("frequent = %d: %v", res.NumFrequent(), res.All())
+	}
+	if c, _ := res.Support(itemset.New(1, 2, 3)); c != 3 {
+		t.Fatalf("support({1 2 3}) = %d", c)
+	}
+}
+
+func TestMineEmptyDB(t *testing.T) {
+	if _, err := Mine(itemset.NewDB("e", nil), 0.5); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+}
+
+func TestCollectPathsRoundTrip(t *testing.T) {
+	tr := newTree()
+	tr.insert([]itemset.Item{1, 2, 3}, 2)
+	tr.insert([]itemset.Item{1, 2}, 1)
+	tr.insert([]itemset.Item{4}, 5)
+	paths := collectPaths(tr)
+	rebuilt := newTree()
+	for _, p := range paths {
+		rebuilt.insert(p.items, p.count)
+	}
+	for it, c := range tr.counts {
+		if rebuilt.counts[it] != c {
+			t.Fatalf("count[%d] = %d after round trip, want %d", it, rebuilt.counts[it], c)
+		}
+	}
+}
+
+// Property: FP-Growth agrees exactly with sequential Apriori on random
+// databases across support thresholds — a candidate-free algorithm agreeing
+// with a candidate-based one on every count.
+func TestMineAgreesWithAprioriProperty(t *testing.T) {
+	f := func(seed int64, sup8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := 0.1 + float64(sup8%8)/10.0
+		rows := make([][]itemset.Item, rng.Intn(25)+5)
+		for i := range rows {
+			n := rng.Intn(6) + 1
+			for j := 0; j < n; j++ {
+				rows[i] = append(rows[i], itemset.Item(rng.Intn(9)))
+			}
+		}
+		db := itemset.NewDB("rand", rows)
+		want, err := apriori.Mine(db, sup, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		got, err := Mine(db, sup)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package hashtree implements the candidate hash tree of Agrawal &
+// Srikant's Apriori, the structure YAFIM broadcasts to workers in Phase II
+// to speed up finding which candidate (k+1)-itemsets occur in each
+// transaction.
+//
+// Interior nodes hash the next item of a candidate into a fixed fanout of
+// children; leaves hold a bounded list of candidates and split when they
+// overflow (unless the tree has already consumed all k items, in which case
+// the leaf grows). Subset enumeration walks the tree against a transaction,
+// pruning whole subtrees that no prefix of the transaction can reach.
+package hashtree
+
+import (
+	"fmt"
+
+	"yafim/internal/itemset"
+)
+
+// Default structural parameters, chosen per the original paper's guidance.
+const (
+	DefaultFanout  = 8
+	DefaultMaxLeaf = 16
+)
+
+// Tree is a hash tree over candidate itemsets of one fixed length k.
+type Tree struct {
+	k         int
+	fanout    int
+	fanoutSet bool
+	maxLeaf   int
+	root      *node
+	sets      []itemset.Itemset // candidates by index
+}
+
+type node struct {
+	children []*node // non-nil: interior node
+	entries  []int   // leaf: candidate indices into Tree.sets
+}
+
+// Option configures tree construction.
+type Option func(*Tree)
+
+// WithFanout sets the hash fanout of interior nodes.
+func WithFanout(n int) Option {
+	return func(t *Tree) { t.fanout, t.fanoutSet = n, true }
+}
+
+// WithMaxLeaf sets the leaf capacity before splitting.
+func WithMaxLeaf(n int) Option {
+	return func(t *Tree) { t.maxLeaf = n }
+}
+
+// Build constructs a hash tree over the given candidate k-itemsets. All
+// candidates must be the same length k >= 1 and must be canonical (sorted);
+// Build panics otherwise, because a malformed candidate set poisons every
+// support count derived from it.
+func Build(candidates []itemset.Itemset, opts ...Option) *Tree {
+	if len(candidates) == 0 {
+		panic("hashtree: Build with no candidates")
+	}
+	t := &Tree{
+		k:       candidates[0].Len(),
+		fanout:  DefaultFanout,
+		maxLeaf: DefaultMaxLeaf,
+		root:    &node{},
+		sets:    candidates,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.k < 1 {
+		panic("hashtree: candidates must have at least one item")
+	}
+	if !t.fanoutSet {
+		t.fanout = adaptiveFanout(len(candidates), t.k, t.maxLeaf)
+	}
+	if t.fanout < 2 || t.maxLeaf < 1 {
+		panic(fmt.Sprintf("hashtree: bad shape fanout=%d maxLeaf=%d", t.fanout, t.maxLeaf))
+	}
+	for i, c := range candidates {
+		if c.Len() != t.k {
+			panic(fmt.Sprintf("hashtree: candidate %d has length %d, want %d", i, c.Len(), t.k))
+		}
+		t.insert(t.root, 0, i)
+	}
+	return t
+}
+
+// K returns the candidate itemset length.
+func (t *Tree) K() int { return t.k }
+
+// Len returns the number of candidates stored.
+func (t *Tree) Len() int { return len(t.sets) }
+
+// Candidate returns the candidate with the given index.
+func (t *Tree) Candidate(i int) itemset.Itemset { return t.sets[i] }
+
+// Candidates returns the backing candidate slice; callers must not modify
+// it.
+func (t *Tree) Candidates() []itemset.Itemset { return t.sets }
+
+// adaptiveFanout sizes interior nodes so that a tree of n k-candidates
+// keeps expected leaf occupancy near maxLeaf even when k is small: leaves
+// stop splitting at depth k, so with a fixed small fanout a large C2 would
+// pile thousands of candidates into each leaf and subset enumeration would
+// degenerate to a linear scan.
+func adaptiveFanout(n, k, maxLeaf int) int {
+	fanout := DefaultFanout
+	for fanout < 1<<14 && pow(fanout, k) < n/maxLeaf {
+		fanout *= 2
+	}
+	return fanout
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		if out > 1<<30 {
+			return out
+		}
+		out *= base
+	}
+	return out
+}
+
+func (t *Tree) hash(it itemset.Item) int { return int(it) % t.fanout }
+
+func (t *Tree) insert(n *node, depth, idx int) {
+	for n.children != nil {
+		n = n.children[t.hash(t.sets[idx][depth])]
+		depth++
+	}
+	n.entries = append(n.entries, idx)
+	if len(n.entries) > t.maxLeaf && depth < t.k {
+		// Split: redistribute entries one level deeper.
+		n.children = make([]*node, t.fanout)
+		for i := range n.children {
+			n.children[i] = &node{}
+		}
+		entries := n.entries
+		n.entries = nil
+		for _, e := range entries {
+			t.insert(n.children[t.hash(t.sets[e][depth])], depth+1, e)
+		}
+	}
+}
+
+// Subset calls visit(i) for every candidate i whose itemset is contained in
+// the transaction items (which must be canonical). It returns the number of
+// elementary operations performed (node hops plus per-candidate membership
+// checks), which callers use to charge CPU time in the performance model.
+func (t *Tree) Subset(items itemset.Itemset, visit func(i int)) int64 {
+	if items.Len() < t.k {
+		return 1
+	}
+	return t.subset(t.root, items, 0, visit)
+}
+
+// subset descends the tree. At an interior node, each distinct remaining
+// transaction item can extend the path; at a leaf, every stored candidate is
+// verified against the transaction.
+func (t *Tree) subset(n *node, items itemset.Itemset, from int, visit func(i int)) int64 {
+	ops := int64(1)
+	if n.children == nil {
+		for _, e := range n.entries {
+			ops += int64(t.k)
+			if items.ContainsAll(t.sets[e]) {
+				visit(e)
+			}
+		}
+		return ops
+	}
+	// Hashing distinct items may reach the same child several times; a
+	// per-call visited mask keeps the walk from re-scanning subtrees while
+	// staying allocation-light for typical fanouts.
+	seen := make([]int, len(n.children))
+	for i := from; i < items.Len(); i++ {
+		h := t.hash(items[i])
+		if seen[h] == 0 {
+			seen[h] = i + 1
+			continue
+		}
+	}
+	for h, firstPlus := range seen {
+		if firstPlus == 0 {
+			continue
+		}
+		ops += t.subset(n.children[h], items, firstPlus, visit)
+	}
+	return ops
+}
+
+// CountSupports scans the transactions and returns the support count of
+// every candidate, plus the total elementary operations performed. It is
+// the sequential reference used by both the driver programs and tests.
+func (t *Tree) CountSupports(transactions []itemset.Transaction) (counts []int, ops int64) {
+	counts = make([]int, t.Len())
+	for _, tr := range transactions {
+		ops += t.Subset(tr.Items, func(i int) { counts[i]++ })
+	}
+	return counts, ops
+}
+
+// SerializedBytes estimates the wire size of the tree for broadcast cost
+// accounting: four bytes per item plus per-candidate and per-node framing.
+func (t *Tree) SerializedBytes() int64 {
+	return int64(t.Len())*int64(4*t.k+8) + 64
+}

@@ -1,0 +1,132 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130) // spans three words
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 128} {
+		if b.Get(i) {
+			t.Errorf("bit %d unexpectedly set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	if b.Get(-1) || b.Get(130) {
+		t.Error("out-of-range Get returned true")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set did not panic")
+		}
+	}()
+	b.Set(130)
+}
+
+func TestBitsetAndOperations(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	and := a.And(b)
+	want := 0
+	for i := 0; i < 100; i += 6 {
+		want++
+		if !and.Get(i) {
+			t.Errorf("AND missing bit %d", i)
+		}
+	}
+	if and.Count() != want {
+		t.Fatalf("AND count = %d, want %d", and.Count(), want)
+	}
+	if got := a.AndCount(b); got != want {
+		t.Fatalf("AndCount = %d, want %d", got, want)
+	}
+	c := a.Clone()
+	c.Set(1)
+	if a.Get(1) {
+		t.Fatal("Clone shares storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	a.AndCount(NewBitset(50))
+}
+
+func TestVerticalSupport(t *testing.T) {
+	db := NewDB("v", [][]Item{
+		{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {4},
+	})
+	v := db.Vertical()
+	cases := []struct {
+		set  Itemset
+		want int
+	}{
+		{New(), 5},
+		{New(1), 3},
+		{New(2), 3},
+		{New(1, 2), 2},
+		{New(1, 2, 3), 1},
+		{New(4), 1},
+		{New(1, 4), 0},
+		{New(99), 0}, // out of universe
+	}
+	for _, c := range cases {
+		if got := v.Support(c.set); got != c.want {
+			t.Errorf("Support(%v) = %d, want %d", c.set, got, c.want)
+		}
+	}
+}
+
+// Property: bitmap support equals direct subset counting on random data.
+func TestVerticalSupportMatchesScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]Item, rng.Intn(40)+5)
+		for i := range rows {
+			n := rng.Intn(6) + 1
+			for j := 0; j < n; j++ {
+				rows[i] = append(rows[i], Item(rng.Intn(10)))
+			}
+		}
+		db := NewDB("rand", rows)
+		v := db.Vertical()
+		for trial := 0; trial < 10; trial++ {
+			var items []Item
+			for j := rng.Intn(4); j >= 0; j-- {
+				items = append(items, Item(rng.Intn(10)))
+			}
+			s := New(items...)
+			direct := 0
+			for _, tr := range db.Transactions {
+				if tr.Items.ContainsAll(s) {
+					direct++
+				}
+			}
+			if v.Support(s) != direct {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package mapreduce implements a Hadoop-1.x-style MapReduce engine over the
+// simulated DFS. Jobs are text-typed (string keys and values, like Hadoop
+// streaming): map tasks consume line records from input splits, partition
+// and locally combine their output, spill it to (virtual) local disk;
+// reduce tasks fetch their partition from every map task over the (virtual)
+// network, merge, process keys in sorted order and commit part files back to
+// the DFS with replication.
+//
+// Faithful to the era, every job pays a heavy startup cost (JobTracker
+// setup, JVM launches) and re-reads its input from the DFS — the overheads
+// the paper blames for MapReduce's poor fit for iterative algorithms.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"yafim/internal/cluster"
+	"yafim/internal/dfs"
+	"yafim/internal/sim"
+)
+
+// Emit collects one key/value record from a mapper, combiner or reducer.
+type Emit func(key, value string)
+
+// CacheFiles holds the contents of the job's distributed-cache files,
+// keyed by DFS path.
+type CacheFiles map[string][]byte
+
+// Mapper processes one input split. A fresh instance is created per map
+// task, so implementations may keep per-task state without locking.
+type Mapper interface {
+	// Setup runs once per task before any Map call, with the distributed
+	// cache contents.
+	Setup(cache CacheFiles, led *sim.Ledger) error
+	// Map processes one line record (key = byte offset, as in Hadoop).
+	Map(offset int64, line string, emit Emit, led *sim.Ledger) error
+	// Cleanup runs once per task after the last Map call; split-at-a-time
+	// algorithms (e.g. SON's local mining) buffer in Map and emit here.
+	Cleanup(emit Emit, led *sim.Ledger) error
+}
+
+// Reducer processes the values of one key. Also used for combiners.
+type Reducer interface {
+	Setup(cache CacheFiles, led *sim.Ledger) error
+	Reduce(key string, values []string, emit Emit, led *sim.Ledger) error
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name        string
+	Input       []string // DFS input paths
+	OutputDir   string   // DFS directory for part-r-NNNNN files
+	NewMapper   func() Mapper
+	NewReducer  func() Reducer
+	NewCombiner func() Reducer // optional map-side combiner
+	NumReducers int
+	// MapTasks is a minimum map-task count hint, honoured by cutting blocks
+	// into finer splits (0 = one task per block).
+	MapTasks   int
+	CacheFiles []string // distributed cache: fetched once per node
+}
+
+// Counters reports record flow through a completed job, Hadoop-style.
+type Counters struct {
+	MapInputRecords     int64
+	MapOutputRecords    int64
+	CombineOutputRecs   int64
+	ReduceInputGroups   int64
+	ReduceOutputRecords int64
+}
+
+// Runner executes jobs against one DFS and cluster configuration.
+type Runner struct {
+	fs          *dfs.FileSystem
+	cfg         cluster.Config
+	parallelism int
+
+	mu       sync.Mutex
+	reports  []sim.JobReport
+	failures map[failureKey]int
+}
+
+type failureKey struct {
+	stage string // "map" or "reduce"
+	task  int
+}
+
+// maxTaskAttempts mirrors Hadoop's mapred.map.max.attempts default of 4.
+const maxTaskAttempts = 4
+
+// TransientError is the failure injected by FailTaskOnce; the task
+// scheduler retries any failed attempt, and tests use this type to assert
+// the retry happened for the injected reason.
+type TransientError struct {
+	Stage string
+	Task  int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("mapreduce: injected failure in %s task %d", e.Stage, e.Task)
+}
+
+// FailTaskOnce schedules n transient failures for the given task index of
+// the given stage ("map" or "reduce"): its next n attempts fail and are
+// retried, exercising Hadoop-style task re-execution.
+func (r *Runner) FailTaskOnce(stage string, task, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failures == nil {
+		r.failures = make(map[failureKey]int)
+	}
+	r.failures[failureKey{stage, task}] += n
+}
+
+func (r *Runner) shouldFail(stage string, task int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := failureKey{stage, task}
+	if r.failures[k] > 0 {
+		r.failures[k]--
+		return true
+	}
+	return false
+}
+
+// NewRunner creates a job runner for the given file system and cluster.
+func NewRunner(fs *dfs.FileSystem, cfg cluster.Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{fs: fs, cfg: cfg, parallelism: runtime.GOMAXPROCS(0)}, nil
+}
+
+// Config returns the simulated cluster configuration.
+func (r *Runner) Config() cluster.Config { return r.cfg }
+
+// Reports returns the job reports of every job run so far, in order.
+func (r *Runner) Reports() []sim.JobReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sim.JobReport, len(r.reports))
+	copy(out, r.reports)
+	return out
+}
+
+// TotalDuration sums the virtual durations of all jobs run so far.
+func (r *Runner) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, rep := range r.Reports() {
+		d += rep.Duration()
+	}
+	return d
+}
+
+const recordOverheadBytes = 8 // per-record framing in spills and fetches
+
+func pairBytes(k, v string) int64 { return int64(len(k)+len(v)) + recordOverheadBytes }
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// mapOutput is one map task's partitioned, optionally combined output.
+type mapOutput struct {
+	buckets []map[string][]string // [reducePartition] -> key -> values
+	bytes   []int64               // serialized size per partition
+}
+
+// Run executes the job and returns its virtual-time report and counters.
+func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
+	if err := validateJob(job); err != nil {
+		return nil, nil, err
+	}
+	report := &sim.JobReport{Name: job.Name, Overhead: r.cfg.JobStartup}
+	counters := &Counters{}
+
+	cache, cacheTime, err := r.loadCache(job.CacheFiles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: distributed cache: %w", job.Name, err)
+	}
+	report.Overhead += cacheTime
+
+	splits, err := r.collectSplits(job.Input, job.MapTasks)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+	}
+
+	outputs, mapStage, err := r.runMapStage(job, splits, cache, counters)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: map stage: %w", job.Name, err)
+	}
+	report.Stages = append(report.Stages, mapStage)
+
+	reduceStage, err := r.runReduceStage(job, outputs, cache, counters)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: reduce stage: %w", job.Name, err)
+	}
+	report.Stages = append(report.Stages, reduceStage)
+
+	r.mu.Lock()
+	r.reports = append(r.reports, *report)
+	r.mu.Unlock()
+	return report, counters, nil
+}
+
+func validateJob(job Job) error {
+	switch {
+	case job.Name == "":
+		return errors.New("mapreduce: job needs a name")
+	case len(job.Input) == 0:
+		return fmt.Errorf("mapreduce: %s: no input paths", job.Name)
+	case job.OutputDir == "":
+		return fmt.Errorf("mapreduce: %s: no output directory", job.Name)
+	case job.NewMapper == nil || job.NewReducer == nil:
+		return fmt.Errorf("mapreduce: %s: mapper and reducer are required", job.Name)
+	case job.NumReducers <= 0:
+		return fmt.Errorf("mapreduce: %s: NumReducers must be positive, got %d", job.Name, job.NumReducers)
+	}
+	return nil
+}
+
+// loadCache reads the distributed-cache files and returns the virtual time
+// to localise them: every node pulls each file from the DFS once (disk read
+// at the source plus one network hop), all nodes in parallel.
+func (r *Runner) loadCache(paths []string) (CacheFiles, time.Duration, error) {
+	cache := make(CacheFiles, len(paths))
+	var d time.Duration
+	for _, p := range paths {
+		data, err := r.fs.ReadFile(p, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		cache[p] = data
+		secs := float64(len(data))/r.cfg.DiskBWPerSec + float64(len(data))/r.cfg.NetBWPerSec
+		d += time.Duration(secs * float64(time.Second))
+	}
+	return cache, d, nil
+}
+
+func (r *Runner) collectSplits(inputs []string, mapTasks int) ([]dfs.Split, error) {
+	var splits []dfs.Split
+	perInput := (mapTasks + len(inputs) - 1) / len(inputs)
+	for _, in := range inputs {
+		s, err := r.fs.SplitsN(in, perInput)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, s...)
+	}
+	if len(splits) == 0 {
+		return nil, errors.New("input has no splits")
+	}
+	return splits, nil
+}
+
+func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
+	counters *Counters) ([]*mapOutput, sim.StageReport, error) {
+	outputs := make([]*mapOutput, len(splits))
+	costs := make([]sim.Cost, len(splits))
+	var mu sync.Mutex // guards counters
+
+	err := r.forEach(len(splits), func(t int) error {
+		if r.shouldFail("map", t) {
+			return &TransientError{Stage: "map", Task: t}
+		}
+		led := &sim.Ledger{}
+		mapper := job.NewMapper()
+		if err := mapper.Setup(cache, led); err != nil {
+			return fmt.Errorf("task %d setup: %w", t, err)
+		}
+		lines, err := r.fs.ReadLines(splits[t], led)
+		if err != nil {
+			return fmt.Errorf("task %d read: %w", t, err)
+		}
+		out := &mapOutput{
+			buckets: make([]map[string][]string, job.NumReducers),
+			bytes:   make([]int64, job.NumReducers),
+		}
+		for i := range out.buckets {
+			out.buckets[i] = make(map[string][]string)
+		}
+		var emitted int64
+		emit := func(k, v string) {
+			b := out.buckets[int(hashString(k))%job.NumReducers]
+			b[k] = append(b[k], v)
+			emitted++
+		}
+		for _, line := range lines {
+			if err := mapper.Map(line.Offset, line.Text, emit, led); err != nil {
+				return fmt.Errorf("task %d map: %w", t, err)
+			}
+		}
+		if err := mapper.Cleanup(emit, led); err != nil {
+			return fmt.Errorf("task %d cleanup: %w", t, err)
+		}
+		led.AddCPU(float64(len(lines)) + float64(emitted))
+
+		var combined int64
+		if job.NewCombiner != nil {
+			c := job.NewCombiner()
+			if err := c.Setup(cache, led); err != nil {
+				return fmt.Errorf("task %d combiner setup: %w", t, err)
+			}
+			for i, b := range out.buckets {
+				nb := make(map[string][]string, len(b))
+				cemit := func(k, v string) {
+					nb[k] = append(nb[k], v)
+					combined++
+				}
+				for k, vs := range b {
+					if err := c.Reduce(k, vs, cemit, led); err != nil {
+						return fmt.Errorf("task %d combine: %w", t, err)
+					}
+					led.AddCPU(float64(len(vs)))
+				}
+				out.buckets[i] = nb
+			}
+		}
+
+		// Sort-and-spill: Hadoop sorts map output before writing it to local
+		// disk; charge n log n comparisons plus the spill bytes.
+		var records int64
+		for i, b := range out.buckets {
+			for k, vs := range b {
+				for _, v := range vs {
+					out.bytes[i] += pairBytes(k, v)
+					records++
+				}
+			}
+		}
+		led.AddCPU(nLogN(records))
+		for _, n := range out.bytes {
+			led.AddDiskWrite(n)
+		}
+
+		outputs[t] = out
+		costs[t] = led.Total()
+		mu.Lock()
+		counters.MapInputRecords += int64(len(lines))
+		counters.MapOutputRecords += emitted
+		counters.CombineOutputRecs += combined
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, sim.StageReport{}, err
+	}
+	placed := make([]sim.Placed, len(splits))
+	for i, cost := range costs {
+		placed[i] = sim.Placed{Cost: cost, Pref: splits[i].Locations}
+	}
+	return outputs, sim.RunStagePlaced(r.cfg, job.Name+":map", placed), nil
+}
+
+func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
+	counters *Counters) (sim.StageReport, error) {
+	costs := make([]sim.Cost, job.NumReducers)
+	var mu sync.Mutex
+
+	err := r.forEach(job.NumReducers, func(p int) error {
+		if r.shouldFail("reduce", p) {
+			return &TransientError{Stage: "reduce", Task: p}
+		}
+		led := &sim.Ledger{}
+		reducer := job.NewReducer()
+		if err := reducer.Setup(cache, led); err != nil {
+			return fmt.Errorf("reducer %d setup: %w", p, err)
+		}
+		// Shuffle fetch: this reducer's bucket from every map task.
+		merged := make(map[string][]string)
+		var fetched int64
+		for _, out := range outputs {
+			led.AddDiskRead(out.bytes[p])
+			led.AddNet(out.bytes[p])
+			for k, vs := range out.buckets[p] {
+				merged[k] = append(merged[k], vs...)
+				fetched += int64(len(vs))
+			}
+		}
+		// Merge sort of fetched runs.
+		led.AddCPU(nLogN(fetched))
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		var sb strings.Builder
+		var outRecords int64
+		emit := func(k, v string) {
+			sb.WriteString(k)
+			sb.WriteByte('\t')
+			sb.WriteString(v)
+			sb.WriteByte('\n')
+			outRecords++
+		}
+		for _, k := range keys {
+			if err := reducer.Reduce(k, merged[k], emit, led); err != nil {
+				return fmt.Errorf("reducer %d key %q: %w", p, k, err)
+			}
+			led.AddCPU(float64(len(merged[k])))
+		}
+		path := fmt.Sprintf("%s/part-r-%05d", job.OutputDir, p)
+		if err := r.fs.WriteFile(path, []byte(sb.String()), led); err != nil {
+			return fmt.Errorf("reducer %d commit: %w", p, err)
+		}
+		costs[p] = led.Total()
+		mu.Lock()
+		counters.ReduceInputGroups += int64(len(keys))
+		counters.ReduceOutputRecords += outRecords
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return sim.StageReport{}, err
+	}
+	return sim.RunStage(r.cfg, job.Name+":reduce", costs), nil
+}
+
+// forEach runs fn(0..n-1) on the worker pool, retrying each task up to the
+// Hadoop attempt limit, and joins the terminal errors.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	sem := make(chan struct{}, r.parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var lastErr error
+			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+				if lastErr = fn(i); lastErr == nil {
+					return
+				}
+			}
+			errs[i] = fmt.Errorf("mapreduce: task %d failed after %d attempts: %w",
+				i, maxTaskAttempts, lastErr)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func nLogN(n int64) float64 {
+	if n <= 1 {
+		return float64(n)
+	}
+	lg := 0.0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return float64(n) * lg
+}

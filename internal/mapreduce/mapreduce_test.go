@@ -1,0 +1,401 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"yafim/internal/cluster"
+	"yafim/internal/dfs"
+	"yafim/internal/sim"
+)
+
+// wordCountMapper is the canonical example job used by the engine tests.
+type wordCountMapper struct{ failOn string }
+
+func (m *wordCountMapper) Setup(CacheFiles, *sim.Ledger) error { return nil }
+func (m *wordCountMapper) Cleanup(Emit, *sim.Ledger) error     { return nil }
+
+func (m *wordCountMapper) Map(_ int64, line string, emit Emit, _ *sim.Ledger) error {
+	for _, w := range strings.Fields(line) {
+		if w == m.failOn {
+			return fmt.Errorf("poisoned word %q", w)
+		}
+		emit(w, "1")
+	}
+	return nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Setup(CacheFiles, *sim.Ledger) error { return nil }
+
+func (sumReducer) Reduce(key string, values []string, emit Emit, _ *sim.Ledger) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+	return nil
+}
+
+func setupFS(t *testing.T, blockSize int64, content string) *dfs.FileSystem {
+	t.Helper()
+	fs := dfs.New(4, dfs.WithBlockSize(blockSize), dfs.WithReplication(2))
+	if err := fs.WriteFile("/in/data.txt", []byte(content), nil); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func wordCountJob(combiner bool) Job {
+	j := Job{
+		Name:        "wordcount",
+		Input:       []string{"/in/data.txt"},
+		OutputDir:   "/out/wc",
+		NewMapper:   func() Mapper { return &wordCountMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 3,
+	}
+	if combiner {
+		j.NewCombiner = func() Reducer { return sumReducer{} }
+	}
+	return j
+}
+
+const corpus = "the quick brown fox\njumps over the lazy dog\nthe fox again\n"
+
+func wantCounts() map[string]string {
+	return map[string]string{
+		"the": "3", "fox": "2", "quick": "1", "brown": "1", "jumps": "1",
+		"over": "1", "lazy": "1", "dog": "1", "again": "1",
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	for _, combiner := range []bool{false, true} {
+		t.Run(fmt.Sprintf("combiner=%v", combiner), func(t *testing.T) {
+			fs := setupFS(t, 16, corpus) // tiny blocks: several map tasks
+			r, err := NewRunner(fs, cluster.Local())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, counters, err := r.Run(wordCountJob(combiner))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadOutput(fs, "/out/wc", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm := map[string]string{}
+			for _, kv := range got {
+				if _, dup := gm[kv.Key]; dup {
+					t.Fatalf("key %q appears in two parts", kv.Key)
+				}
+				gm[kv.Key] = kv.Value
+			}
+			want := wantCounts()
+			if len(gm) != len(want) {
+				t.Fatalf("got %v", gm)
+			}
+			for k, v := range want {
+				if gm[k] != v {
+					t.Errorf("count[%q] = %q, want %q", k, gm[k], v)
+				}
+			}
+			if counters.MapInputRecords != 3 {
+				t.Errorf("MapInputRecords = %d", counters.MapInputRecords)
+			}
+			if counters.MapOutputRecords != 12 {
+				t.Errorf("MapOutputRecords = %d", counters.MapOutputRecords)
+			}
+			if counters.ReduceInputGroups != 9 || counters.ReduceOutputRecords != 9 {
+				t.Errorf("reduce counters = %+v", counters)
+			}
+			if combiner && counters.CombineOutputRecs > counters.MapOutputRecords {
+				// With 16-byte splits each task sees distinct words, so the
+				// combiner may not shrink anything, but must never grow it.
+				t.Errorf("combiner grew output: %+v", counters)
+			}
+			if len(rep.Stages) != 2 {
+				t.Fatalf("stages = %d", len(rep.Stages))
+			}
+			if rep.Overhead < r.Config().JobStartup {
+				t.Errorf("job overhead %v below startup", rep.Overhead)
+			}
+		})
+	}
+}
+
+func TestCombinerReducesShuffleBytes(t *testing.T) {
+	run := func(combiner bool) sim.Cost {
+		fs := setupFS(t, 1024, strings.Repeat(corpus, 20))
+		r, err := NewRunner(fs, cluster.Local())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := r.Run(wordCountJob(combiner))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stages[1].Total // reduce stage: shuffle fetch costs
+	}
+	plain := run(false)
+	combined := run(true)
+	if combined.Net >= plain.Net {
+		t.Fatalf("combiner did not cut shuffle traffic: %d vs %d", combined.Net, plain.Net)
+	}
+}
+
+func TestJobChargesInputAndOutputIO(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r, err := NewRunner(fs, cluster.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := r.Run(wordCountJob(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapCost := rep.Stages[0].Total
+	if mapCost.DiskRead < int64(len(corpus)) {
+		t.Errorf("map stage read %d bytes, want >= %d", mapCost.DiskRead, len(corpus))
+	}
+	if mapCost.DiskWrite == 0 {
+		t.Error("map spill not charged")
+	}
+	redCost := rep.Stages[1].Total
+	// Output commit pays replication: 2x disk write plus 1x network.
+	if redCost.DiskWrite == 0 || redCost.Net == 0 {
+		t.Errorf("reduce commit costs missing: %+v", redCost)
+	}
+}
+
+func TestDistributedCache(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	payload := strings.Repeat("z", 1000)
+	if err := fs.WriteFile("/cache/side", []byte(payload), nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(fs, cluster.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCache string
+	job := wordCountJob(false)
+	job.CacheFiles = []string{"/cache/side"}
+	job.NewMapper = func() Mapper { return &cacheCheckMapper{saw: &sawCache} }
+	rep, _, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawCache != payload {
+		t.Fatalf("mapper saw %d cache bytes", len(sawCache))
+	}
+	plain, _, err := NewRunnerMust(t, cluster.Local(), fs).Run(wordCountJob(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead <= plain.Overhead {
+		t.Fatalf("cache localisation time missing: %v vs %v", rep.Overhead, plain.Overhead)
+	}
+}
+
+type cacheCheckMapper struct{ saw *string }
+
+func (m *cacheCheckMapper) Setup(c CacheFiles, _ *sim.Ledger) error {
+	*m.saw = string(c["/cache/side"])
+	return nil
+}
+
+func (m *cacheCheckMapper) Cleanup(Emit, *sim.Ledger) error { return nil }
+
+func (m *cacheCheckMapper) Map(_ int64, line string, emit Emit, _ *sim.Ledger) error {
+	for _, w := range strings.Fields(line) {
+		emit(w, "1")
+	}
+	return nil
+}
+
+func NewRunnerMust(t *testing.T, cfg cluster.Config, fs *dfs.FileSystem) *Runner {
+	t.Helper()
+	r, err := NewRunner(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMapperErrorFailsJob(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	job := wordCountJob(false)
+	job.NewMapper = func() Mapper { return &wordCountMapper{failOn: "lazy"} }
+	if _, _, err := r.Run(job); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type badReducer struct{}
+
+func (badReducer) Setup(CacheFiles, *sim.Ledger) error { return nil }
+func (badReducer) Reduce(key string, _ []string, _ Emit, _ *sim.Ledger) error {
+	if key == "fox" {
+		return errors.New("fox rejected")
+	}
+	return nil
+}
+
+func TestReducerErrorFailsJob(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	job := wordCountJob(false)
+	job.NewReducer = func() Reducer { return badReducer{} }
+	if _, _, err := r.Run(job); err == nil || !strings.Contains(err.Error(), "fox rejected") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateJob(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	base := wordCountJob(false)
+
+	for name, mutate := range map[string]func(*Job){
+		"no name":     func(j *Job) { j.Name = "" },
+		"no input":    func(j *Job) { j.Input = nil },
+		"no output":   func(j *Job) { j.OutputDir = "" },
+		"no mapper":   func(j *Job) { j.NewMapper = nil },
+		"no reducer":  func(j *Job) { j.NewReducer = nil },
+		"no reducers": func(j *Job) { j.NumReducers = 0 },
+	} {
+		j := base
+		mutate(&j)
+		if _, _, err := r.Run(j); err == nil {
+			t.Errorf("%s: job ran", name)
+		}
+	}
+	j := base
+	j.Input = []string{"/does/not/exist"}
+	if _, _, err := r.Run(j); err == nil {
+		t.Error("missing input: job ran")
+	}
+}
+
+func TestReduceKeysProcessedInSortedOrder(t *testing.T) {
+	fs := setupFS(t, 1024, "c a b\n")
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	var order []string
+	job := wordCountJob(false)
+	job.NumReducers = 1
+	job.NewReducer = func() Reducer { return &orderRecorder{order: &order} }
+	if _, _, err := r.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("reduce order = %v", order)
+	}
+}
+
+type orderRecorder struct{ order *[]string }
+
+func (r *orderRecorder) Setup(CacheFiles, *sim.Ledger) error { return nil }
+func (r *orderRecorder) Reduce(key string, _ []string, emit Emit, _ *sim.Ledger) error {
+	*r.order = append(*r.order, key)
+	emit(key, "ok")
+	return nil
+}
+
+func TestEveryJobPaysStartup(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r := NewRunnerMust(t, cluster.PaperHadoop(), fs)
+	for i := 0; i < 3; i++ {
+		CleanOutput(fs, "/out/wc")
+		if _, _, err := r.Run(wordCountJob(false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := r.Reports()
+	if len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	for i, rep := range reps {
+		if rep.Overhead < cluster.PaperHadoop().JobStartup {
+			t.Errorf("job %d overhead %v below startup — the iterative penalty is the point", i, rep.Overhead)
+		}
+	}
+	if r.TotalDuration() < 3*cluster.PaperHadoop().JobStartup {
+		t.Errorf("total duration %v too small", r.TotalDuration())
+	}
+}
+
+func TestJobTimingDeterministic(t *testing.T) {
+	run := func() string {
+		fs := setupFS(t, 16, strings.Repeat(corpus, 5))
+		r := NewRunnerMust(t, cluster.PaperHadoop(), fs)
+		rep, _, err := r.Run(wordCountJob(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Duration().String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("durations differ: %s vs %s", a, b)
+	}
+}
+
+func TestReadOutputErrors(t *testing.T) {
+	fs := dfs.New(2)
+	if _, err := ReadOutput(fs, "/none", nil); err == nil {
+		t.Error("ReadOutput with no parts succeeded")
+	}
+	if err := fs.WriteFile("/bad/part-r-00000", []byte("no-tab-here\n"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOutput(fs, "/bad", nil); err == nil {
+		t.Error("malformed record accepted")
+	}
+}
+
+func TestTaskRetryOnInjectedFailure(t *testing.T) {
+	fs := setupFS(t, 16, corpus) // several map tasks
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	r.FailTaskOnce("map", 0, 2)    // two transient failures, then success
+	r.FailTaskOnce("reduce", 1, 1) // one reducer hiccup
+	_, counters, err := r.Run(wordCountJob(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOutput(fs, "/out/wc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantCounts()) {
+		t.Fatalf("retries corrupted output: %v", got)
+	}
+	if counters.MapInputRecords != 3 {
+		t.Fatalf("retries double-counted records: %+v", counters)
+	}
+}
+
+func TestTaskFailsAfterMaxAttempts(t *testing.T) {
+	fs := setupFS(t, 1024, corpus)
+	r := NewRunnerMust(t, cluster.Local(), fs)
+	r.FailTaskOnce("map", 0, maxTaskAttempts)
+	_, _, err := r.Run(wordCountJob(false))
+	if err == nil {
+		t.Fatal("job succeeded despite exhausting all attempts")
+	}
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("error does not wrap TransientError: %v", err)
+	}
+}

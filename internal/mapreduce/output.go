@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+
+	"yafim/internal/dfs"
+	"yafim/internal/sim"
+)
+
+// KV is one parsed output record of a job.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// ReadOutput reads and parses every part file a job committed under dir,
+// in part order. The ledger (may be nil) is charged for the DFS reads; the
+// driver of an iterative algorithm passes one to account for re-reading
+// results between jobs.
+func ReadOutput(fs *dfs.FileSystem, dir string, led *sim.Ledger) ([]KV, error) {
+	parts := fs.List(dir + "/part-r-")
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("mapreduce: no output parts under %s", dir)
+	}
+	var out []KV
+	for _, p := range parts {
+		data, err := fs.ReadFile(p, led)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(line, "\t")
+			if !ok {
+				return nil, fmt.Errorf("mapreduce: %s: malformed record %q", p, line)
+			}
+			out = append(out, KV{Key: k, Value: v})
+		}
+	}
+	return out, nil
+}
+
+// CleanOutput deletes a previous run's part files under dir, mirroring the
+// manual cleanup Hadoop requires before reusing an output directory.
+func CleanOutput(fs *dfs.FileSystem, dir string) {
+	for _, p := range fs.List(dir + "/part-r-") {
+		// Deleting a concurrently removed file is harmless here.
+		_ = fs.Delete(p)
+	}
+}

@@ -1,0 +1,145 @@
+package mrapriori
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"yafim/internal/hashtree"
+	"yafim/internal/itemset"
+	"yafim/internal/mapreduce"
+	"yafim/internal/sim"
+)
+
+// itemMapper implements pass 1 (Algorithm 2 of the paper, in MapReduce
+// form): emit <item, 1> for every item of every transaction.
+type itemMapper struct{}
+
+func (m *itemMapper) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (m *itemMapper) Cleanup(mapreduce.Emit, *sim.Ledger) error { return nil }
+
+func (m *itemMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Ledger) error {
+	fields := strings.Fields(line)
+	for _, f := range fields {
+		if _, err := strconv.ParseUint(f, 10, 31); err != nil {
+			return fmt.Errorf("mrapriori: bad transaction item %q", f)
+		}
+		emit(f, "1")
+	}
+	led.AddCPU(float64(len(line)))
+	return nil
+}
+
+// countMapper implements passes k >= 2 (Algorithm 3 in MapReduce form): load
+// the candidate batch from the distributed cache into hash trees, then emit
+// <candidate, 1> for every candidate contained in each transaction.
+type countMapper struct {
+	cachePath string
+	trees     []*hashtree.Tree
+	keys      [][]string // per tree: candidate index -> emitted key text
+}
+
+func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
+	data, ok := cache[m.cachePath]
+	if !ok {
+		return fmt.Errorf("mrapriori: candidate cache file %s not localised", m.cachePath)
+	}
+	byLen := map[int][]itemset.Itemset{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		set, err := parseSet(line)
+		if err != nil {
+			return fmt.Errorf("mrapriori: candidate file: %w", err)
+		}
+		byLen[set.Len()] = append(byLen[set.Len()], set)
+	}
+	if len(byLen) == 0 {
+		return fmt.Errorf("mrapriori: candidate file %s is empty", m.cachePath)
+	}
+	lengths := make([]int, 0, len(byLen))
+	for k := range byLen {
+		lengths = append(lengths, k)
+	}
+	// Deterministic tree order (ascending candidate length).
+	for i := 0; i < len(lengths); i++ {
+		for j := i + 1; j < len(lengths); j++ {
+			if lengths[j] < lengths[i] {
+				lengths[i], lengths[j] = lengths[j], lengths[i]
+			}
+		}
+	}
+	for _, k := range lengths {
+		cands := byLen[k]
+		tree := hashtree.Build(cands)
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = setKey(c)
+		}
+		m.trees = append(m.trees, tree)
+		m.keys = append(m.keys, keys)
+		led.AddCPU(float64(len(cands) * k)) // tree construction
+	}
+	return nil
+}
+
+func (m *countMapper) Cleanup(mapreduce.Emit, *sim.Ledger) error { return nil }
+
+func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Ledger) error {
+	set, err := parseSet(line)
+	if err != nil {
+		return fmt.Errorf("mrapriori: transaction: %w", err)
+	}
+	led.AddCPU(float64(len(line)))
+	for ti, tree := range m.trees {
+		ops := tree.Subset(set, func(i int) { emit(m.keys[ti][i], "1") })
+		led.AddCPU(float64(ops))
+	}
+	return nil
+}
+
+// sumReducer sums the integer values of a key; it serves as the combiner of
+// every pass and as the (unpruned) reducer of pass 1.
+type sumReducer struct{}
+
+func (sumReducer) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (sumReducer) Reduce(key string, values []string, emit mapreduce.Emit, _ *sim.Ledger) error {
+	total, err := sumValues(key, values)
+	if err != nil {
+		return err
+	}
+	emit(key, strconv.Itoa(total))
+	return nil
+}
+
+// prunedSumReducer sums and keeps only keys meeting the minimum support —
+// lines 11-18 of Algorithm 3.
+type prunedSumReducer struct{ minCount int }
+
+func (prunedSumReducer) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (r prunedSumReducer) Reduce(key string, values []string, emit mapreduce.Emit, _ *sim.Ledger) error {
+	total, err := sumValues(key, values)
+	if err != nil {
+		return err
+	}
+	if total >= r.minCount {
+		emit(key, strconv.Itoa(total))
+	}
+	return nil
+}
+
+func sumValues(key string, values []string) (int, error) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("mrapriori: bad partial count %q for key %q", v, key)
+		}
+		total += n
+	}
+	return total, nil
+}

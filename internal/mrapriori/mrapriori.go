@@ -1,0 +1,349 @@
+// Package mrapriori implements the paper's comparator: a k-phase parallel
+// Apriori on Hadoop-style MapReduce (the PApriori algorithm of Li et al.,
+// reference [16], which the paper calls MRApriori). Each pass over the
+// candidate lattice is a complete MapReduce job that re-reads the
+// transaction dataset from the DFS, distributes the current candidate set
+// through the distributed cache, counts supports in mappers with the same
+// hash tree YAFIM uses, and commits the frequent itemsets back to the DFS —
+// paying job startup and input I/O on every iteration.
+//
+// The package also implements the SPC/FPC/DPC family of Lin et al.
+// (reference [17]): SPC is the plain one-job-per-pass algorithm; FPC
+// merges a fixed number of speculative candidate levels into each job; DPC
+// merges levels dynamically under a candidate budget.
+package mrapriori
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"yafim/internal/apriori"
+	"yafim/internal/dfs"
+	"yafim/internal/itemset"
+	"yafim/internal/mapreduce"
+	"yafim/internal/sim"
+)
+
+// Variant selects the pass-combining strategy.
+type Variant int
+
+const (
+	// SPC runs one MapReduce job per candidate length (PApriori/MRApriori).
+	SPC Variant = iota
+	// FPC combines a fixed number of speculative candidate levels per job.
+	FPC
+	// DPC combines candidate levels dynamically under a candidate budget.
+	DPC
+)
+
+func (v Variant) String() string {
+	switch v {
+	case SPC:
+		return "SPC"
+	case FPC:
+		return "FPC"
+	case DPC:
+		return "DPC"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config parameterises a mining run.
+type Config struct {
+	// MinSupport is the relative minimum support threshold in (0,1].
+	MinSupport float64
+	// NumReducers sets reduce-side parallelism (0 = cluster core count).
+	NumReducers int
+	// MaxK stops after frequent itemsets of this size (0 = unbounded).
+	MaxK int
+	// Variant selects SPC (default), FPC or DPC.
+	Variant Variant
+	// FPCPasses is the number of candidate levels per job under FPC
+	// (default 3, the value Lin et al. study).
+	FPCPasses int
+	// DPCBudget caps the combined candidate count per job under DPC
+	// (default 50000).
+	DPCBudget int
+	// NumMapTasks is a minimum map-task count hint per job (0 = one task
+	// per input block).
+	NumMapTasks int
+}
+
+// Mine runs the k-phase MapReduce Apriori over the transaction file at
+// inputPath, staging intermediate files under workDir in the DFS.
+func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
+	cfg Config) (*apriori.Trace, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("mrapriori: MinSupport %v out of (0,1]", cfg.MinSupport)
+	}
+	reducers := cfg.NumReducers
+	if reducers <= 0 {
+		reducers = runner.Config().TotalCores()
+	}
+	fpcPasses := cfg.FPCPasses
+	if fpcPasses <= 0 {
+		fpcPasses = 3
+	}
+	budget := cfg.DPCBudget
+	if budget <= 0 {
+		budget = 50000
+	}
+
+	// Phase 1: one job counting single items. The reducer cannot know the
+	// relative threshold's absolute value before the input size is known, so
+	// it emits every count and the driver prunes using the job's input
+	// record counter, exactly as one-pass Hadoop implementations do.
+	out1 := workDir + "/L1"
+	mapreduce.CleanOutput(fs, out1)
+	rep, counters, err := runner.Run(mapreduce.Job{
+		Name:        "apriori-pass1",
+		Input:       []string{inputPath},
+		OutputDir:   out1,
+		NewMapper:   func() mapreduce.Mapper { return &itemMapper{} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		NewReducer:  func() mapreduce.Reducer { return sumReducer{} },
+		NumReducers: reducers,
+		MapTasks:    cfg.NumMapTasks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mrapriori: pass 1: %w", err)
+	}
+	n := counters.MapInputRecords
+	if n == 0 {
+		return nil, fmt.Errorf("mrapriori: %s holds no transactions", inputPath)
+	}
+	minCount := minSupportCount(cfg.MinSupport, n)
+
+	kvs, err := mapreduce.ReadOutput(fs, out1, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mrapriori: pass 1 output: %w", err)
+	}
+	var l1 []apriori.SetCount
+	for _, kv := range kvs {
+		count, set, err := parseCountedSet(kv)
+		if err != nil {
+			return nil, fmt.Errorf("mrapriori: pass 1 output: %w", err)
+		}
+		if count >= minCount {
+			l1 = append(l1, apriori.SetCount{Set: set, Count: count})
+		}
+	}
+
+	res := &apriori.Result{MinSupport: minCount}
+	trace := &apriori.Trace{Result: res}
+	trace.Passes = append(trace.Passes, apriori.PassStat{
+		K: 1, Candidates: int(n), Frequent: len(l1), Duration: rep.Duration(),
+	})
+	if len(l1) == 0 {
+		return trace, nil
+	}
+	res.Levels = append(res.Levels, apriori.NewLevel(1, l1))
+
+	// Phases 2..k: one job per candidate batch.
+	prev := sets(l1)
+	k := 2
+	for cfg.MaxK == 0 || k <= cfg.MaxK {
+		batch, err := generateBatch(prev, cfg.Variant, fpcPasses, budget, cfg.MaxK, k)
+		if err != nil {
+			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		levels, rep, err := runCountJob(runner, fs, inputPath, workDir, k, batch, minCount, reducers, cfg.NumMapTasks)
+		if err != nil {
+			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
+		}
+
+		// Attribute the job's full duration to the first level of the batch;
+		// levels sharing the job report zero incremental time.
+		stop := false
+		for i, cands := range batch {
+			lk := levels[i]
+			stat := apriori.PassStat{K: k + i, Candidates: len(cands), Frequent: len(lk)}
+			if i == 0 {
+				stat.Duration = rep.Duration()
+			}
+			trace.Passes = append(trace.Passes, stat)
+			if len(lk) == 0 {
+				stop = true
+				break
+			}
+			res.Levels = append(res.Levels, apriori.NewLevel(k+i, lk))
+			prev = sets(lk)
+		}
+		if stop {
+			break
+		}
+		k += len(batch)
+	}
+	return trace, nil
+}
+
+// generateBatch produces the candidate levels for the next job, starting at
+// length k: one level for SPC, a fixed count for FPC, and as many as fit the
+// candidate budget for DPC. Speculative levels are generated by treating the
+// previous candidates as if frequent, which preserves completeness because
+// Gen is monotone in its input family.
+func generateBatch(prev []itemset.Itemset, v Variant, fpcPasses, budget, maxK, k int) ([][]itemset.Itemset, error) {
+	levels := 1
+	switch v {
+	case SPC:
+	case FPC:
+		levels = fpcPasses
+	case DPC:
+		levels = 1 << 30 // bounded by the budget below
+	default:
+		return nil, fmt.Errorf("unknown variant %v", v)
+	}
+	var batch [][]itemset.Itemset
+	total := 0
+	for i := 0; i < levels; i++ {
+		if maxK != 0 && k+i > maxK {
+			break
+		}
+		cands, err := apriori.Gen(prev)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			break
+		}
+		if v == DPC && len(batch) > 0 && total+len(cands) > budget {
+			break
+		}
+		batch = append(batch, cands)
+		total += len(cands)
+		prev = cands
+	}
+	return batch, nil
+}
+
+// runCountJob writes the candidate batch to the distributed cache, runs the
+// counting job, and splits the surviving itemsets back into their levels.
+func runCountJob(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
+	k int, batch [][]itemset.Itemset, minCount, reducers, mapTasks int) ([][]apriori.SetCount, *sim.JobReport, error) {
+
+	cachePath := fmt.Sprintf("%s/C%d", workDir, k)
+	if err := fs.WriteFile(cachePath, encodeCandidates(batch), nil); err != nil {
+		return nil, nil, err
+	}
+	outDir := fmt.Sprintf("%s/L%d", workDir, k)
+	mapreduce.CleanOutput(fs, outDir)
+
+	rep, _, err := runner.Run(mapreduce.Job{
+		Name:        fmt.Sprintf("apriori-pass%d", k),
+		Input:       []string{inputPath},
+		OutputDir:   outDir,
+		NewMapper:   func() mapreduce.Mapper { return &countMapper{cachePath: cachePath} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{} },
+		NewReducer:  func() mapreduce.Reducer { return prunedSumReducer{minCount: minCount} },
+		NumReducers: reducers,
+		MapTasks:    mapTasks,
+		CacheFiles:  []string{cachePath},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	kvs, err := mapreduce.ReadOutput(fs, outDir, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	levels := make([][]apriori.SetCount, len(batch))
+	for _, kv := range kvs {
+		count, set, err := parseCountedSet(kv)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := set.Len() - k
+		if idx < 0 || idx >= len(batch) {
+			return nil, nil, fmt.Errorf("unexpected %d-itemset in pass %d output", set.Len(), k)
+		}
+		levels[idx] = append(levels[idx], apriori.SetCount{Set: set, Count: count})
+	}
+	// A speculative level may be frequent only through itemsets whose true
+	// k-subsets turned out infrequent; exact counting makes them valid
+	// frequent itemsets regardless, so no re-pruning is needed.
+	for i := range levels {
+		sort.Slice(levels[i], func(a, b int) bool {
+			return levels[i][a].Set.Compare(levels[i][b].Set) < 0
+		})
+	}
+	return levels, rep, nil
+}
+
+func encodeCandidates(batch [][]itemset.Itemset) []byte {
+	var sb strings.Builder
+	for _, cands := range batch {
+		for _, c := range cands {
+			sb.WriteString(setKey(c))
+			sb.WriteByte('\n')
+		}
+	}
+	return []byte(sb.String())
+}
+
+// setKey renders an itemset as its canonical text key: space-separated
+// decimal items. This is both the cache-file line format and the MapReduce
+// key emitted for each candidate occurrence.
+func setKey(s itemset.Itemset) string {
+	var sb strings.Builder
+	for i, it := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(it)))
+	}
+	return sb.String()
+}
+
+func parseSet(text string) (itemset.Itemset, error) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty itemset text")
+	}
+	items := make([]itemset.Item, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad item %q", f)
+		}
+		items[i] = itemset.Item(v)
+	}
+	return itemset.New(items...), nil
+}
+
+func parseCountedSet(kv mapreduce.KV) (int, itemset.Itemset, error) {
+	count, err := strconv.Atoi(kv.Value)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad count %q for key %q", kv.Value, kv.Key)
+	}
+	set, err := parseSet(kv.Key)
+	if err != nil {
+		return 0, nil, err
+	}
+	return count, set, nil
+}
+
+func sets(scs []apriori.SetCount) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Set
+	}
+	return out
+}
+
+func minSupportCount(rel float64, n int64) int {
+	c := int(rel * float64(n))
+	if float64(c) < rel*float64(n) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+package rdd
+
+import (
+	"testing"
+
+	"yafim/internal/cluster"
+)
+
+func BenchmarkMapCollect(b *testing.B) {
+	ctx, err := NewContext(cluster.Local())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := ints(100000)
+	r := Parallelize(ctx, "n", data, 16).Cache()
+	if _, err := Collect(r); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := Map(r, "inc", func(v int) int { return v + 1 })
+		if _, err := Collect(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceByKey(b *testing.B) {
+	ctx, err := NewContext(cluster.Local())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]Pair[int, int], 100000)
+	for i := range pairs {
+		pairs[i] = Pair[int, int]{i % 512, 1}
+	}
+	r := Parallelize(ctx, "p", pairs, 16).Cache()
+	if _, err := Collect(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red := ReduceByKey(r, "sum", func(a, c int) int { return a + c }, 8)
+		if _, err := Collect(red); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

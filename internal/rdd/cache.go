@@ -1,0 +1,126 @@
+package rdd
+
+import (
+	"sync"
+)
+
+// cacheManager enforces the per-node executor memory budget across all
+// cached RDDs of a context, the "held in the memory as much as possible"
+// behaviour of §IV-B: partitions are admitted until a node's budget is
+// exhausted, then the least recently used resident partitions are evicted
+// to make room. Evicted partitions are recomputed from lineage on next
+// access, never failed.
+type cacheManager struct {
+	mu           sync.Mutex
+	perNodeLimit int64 // 0 = unlimited
+	nodes        int
+	used         []int64
+	clock        int64
+	entries      map[entryKey]*cacheEntry
+}
+
+type entryKey struct {
+	owner partEvictor
+	part  int
+}
+
+type cacheEntry struct {
+	bytes    int64
+	lastUsed int64
+}
+
+// partEvictor is the callback a cache store exposes so the manager can drop
+// one of its partitions.
+type partEvictor interface {
+	evictPart(p int)
+}
+
+func newCacheManager(nodes int, perNodeLimit int64) *cacheManager {
+	return &cacheManager{
+		perNodeLimit: perNodeLimit,
+		nodes:        nodes,
+		used:         make([]int64, nodes),
+		entries:      make(map[entryKey]*cacheEntry),
+	}
+}
+
+func (m *cacheManager) node(part int) int { return part % m.nodes }
+
+// admit decides whether a partition of the given size may be cached,
+// evicting LRU residents of the same node as needed. It returns false when
+// the partition alone exceeds the node budget (Spark's MEMORY_ONLY simply
+// does not store such blocks).
+func (m *cacheManager) admit(owner partEvictor, part int, bytes int64) bool {
+	if m == nil {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.perNodeLimit > 0 && bytes > m.perNodeLimit {
+		return false
+	}
+	node := m.node(part)
+	for m.perNodeLimit > 0 && m.used[node]+bytes > m.perNodeLimit {
+		victim, ok := m.oldestOnNodeLocked(node)
+		if !ok {
+			return false
+		}
+		m.dropLocked(victim)
+		// The store's evictPart must not call back into the manager.
+		victim.owner.evictPart(victim.part)
+	}
+	m.clock++
+	m.entries[entryKey{owner, part}] = &cacheEntry{bytes: bytes, lastUsed: m.clock}
+	m.used[node] += bytes
+	return true
+}
+
+// touch refreshes a partition's LRU position on cache hit.
+func (m *cacheManager) touch(owner partEvictor, part int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[entryKey{owner, part}]; ok {
+		m.clock++
+		e.lastUsed = m.clock
+	}
+}
+
+// release removes accounting for a partition the store dropped itself
+// (node kill, DropAllCaches).
+func (m *cacheManager) release(owner partEvictor, part int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropLocked(entryKey{owner, part})
+}
+
+func (m *cacheManager) dropLocked(k entryKey) {
+	if e, ok := m.entries[k]; ok {
+		m.used[m.node(k.part)] -= e.bytes
+		delete(m.entries, k)
+	}
+}
+
+func (m *cacheManager) oldestOnNodeLocked(node int) (entryKey, bool) {
+	var best entryKey
+	var bestClock int64 = 1<<63 - 1
+	found := false
+	for k, e := range m.entries {
+		if m.node(k.part) == node && e.lastUsed < bestClock {
+			best, bestClock, found = k, e.lastUsed, true
+		}
+	}
+	return best, found
+}
+
+// usedBytes reports the resident cache volume on one node (for tests).
+func (m *cacheManager) usedBytes(node int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used[node]
+}

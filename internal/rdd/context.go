@@ -1,0 +1,297 @@
+// Package rdd implements a Spark-like in-memory parallel execution engine:
+// resilient distributed datasets with lazy, lineage-tracked transformations,
+// stage-based job execution on a goroutine worker pool, partition caching,
+// broadcast variables and lineage-based recovery from injected task and node
+// failures.
+//
+// Results are computed for real and exactly; time is virtual. Every task
+// meters its work into a sim.Ledger and the context converts each stage's
+// task costs into a deterministic makespan for the configured cluster, so a
+// driver program can be "run on 12 nodes" reproducibly on any machine.
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"yafim/internal/cluster"
+	"yafim/internal/sim"
+)
+
+// Context owns the cluster configuration, the worker pool, fault-injection
+// state and the virtual-time job reports of one driver program. Drivers run
+// actions sequentially, as a Spark driver thread does; a Context must not
+// run two actions concurrently.
+type Context struct {
+	cfg         cluster.Config
+	parallelism int
+
+	mu              sync.Mutex
+	nextID          int
+	started         bool // first job pays application startup
+	pendingOverhead time.Duration
+	current         *sim.JobReport
+	reports         []sim.JobReport
+	failures        map[failureKey]int
+	caches          []evictor
+	naiveShipping   bool  // disable broadcast variables (ablation)
+	jobShipBytes    int64 // naive-mode bytes serialized through the driver
+
+	cacheMgr *cacheManager // per-node executor memory accounting
+}
+
+type failureKey struct {
+	rdd  int
+	part int
+}
+
+type evictor interface {
+	evictNode(node, nodes int)
+	evictAll()
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithParallelism caps the number of OS-level worker goroutines used to
+// execute tasks. It affects real execution speed only, never virtual time.
+func WithParallelism(n int) Option {
+	return func(c *Context) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+// WithoutBroadcast disables the broadcast-variable optimisation: shared data
+// is shipped with every task, the naive default behaviour the paper's §IV-C
+// argues against. Used by the broadcast ablation experiment.
+func WithoutBroadcast() Option {
+	return func(c *Context) { c.naiveShipping = true }
+}
+
+// WithExecutorMemory caps the cache memory available per node (the paper's
+// testbed has 24 GB per node). Cached partitions beyond the budget evict
+// the least recently used residents of their node; evicted partitions are
+// transparently recomputed from lineage. Zero (the default) is unlimited.
+func WithExecutorMemory(bytesPerNode int64) Option {
+	return func(c *Context) {
+		if bytesPerNode > 0 {
+			c.cacheMgr = newCacheManager(c.cfg.Nodes, bytesPerNode)
+		}
+	}
+}
+
+// NewContext creates a driver context for the given simulated cluster.
+func NewContext(cfg cluster.Config, opts ...Option) (*Context, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Context{
+		cfg:         cfg,
+		parallelism: runtime.GOMAXPROCS(0),
+		failures:    make(map[failureKey]int),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Config returns the simulated cluster configuration.
+func (c *Context) Config() cluster.Config { return c.cfg }
+
+// Reports returns the job reports of every action run so far, in order.
+func (c *Context) Reports() []sim.JobReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sim.JobReport, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// TotalDuration sums the virtual durations of all jobs run so far.
+func (c *Context) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, r := range c.Reports() {
+		d += r.Duration()
+	}
+	return d
+}
+
+func (c *Context) allocID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// addPendingOverhead schedules driver-side virtual time (e.g. broadcast
+// distribution) to be charged to the next job.
+func (c *Context) addPendingOverhead(d time.Duration) {
+	c.mu.Lock()
+	c.pendingOverhead += d
+	c.mu.Unlock()
+}
+
+func (c *Context) registerCache(e evictor) {
+	c.mu.Lock()
+	c.caches = append(c.caches, e)
+	c.mu.Unlock()
+}
+
+// FailTaskOnce injects n transient failures into the given partition of the
+// given RDD: its next n materialisations return an error, exercising the
+// scheduler's task retry path.
+func (c *Context) FailTaskOnce(rddID, part, n int) {
+	c.mu.Lock()
+	c.failures[failureKey{rddID, part}] += n
+	c.mu.Unlock()
+}
+
+func (c *Context) shouldFail(rddID, part int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := failureKey{rddID, part}
+	if c.failures[k] > 0 {
+		c.failures[k]--
+		return true
+	}
+	return false
+}
+
+// KillNode simulates losing worker node n: every cached partition resident
+// on that node is dropped. Subsequent actions transparently recompute the
+// lost partitions from lineage, which is the RDD fault-tolerance story.
+func (c *Context) KillNode(n int) {
+	c.mu.Lock()
+	caches := append([]evictor(nil), c.caches...)
+	nodes := c.cfg.Nodes
+	c.mu.Unlock()
+	for _, e := range caches {
+		e.evictNode(n, nodes)
+	}
+}
+
+// DropAllCaches evicts every cached partition, as if all executors were
+// restarted. Used by the cache ablation to force recomputation.
+func (c *Context) DropAllCaches() {
+	c.mu.Lock()
+	caches := append([]evictor(nil), c.caches...)
+	c.mu.Unlock()
+	for _, e := range caches {
+		e.evictAll()
+	}
+}
+
+// FlakyError is the failure injected by FailTaskOnce. The stage scheduler
+// retries tasks that fail with any error; tests use this type to assert the
+// retry happened for the injected reason.
+type FlakyError struct {
+	RDD  int
+	Part int
+}
+
+func (e *FlakyError) Error() string {
+	return fmt.Sprintf("rdd: injected failure in rdd %d partition %d", e.RDD, e.Part)
+}
+
+// maxTaskAttempts mirrors Hadoop/Spark's default of four attempts per task.
+const maxTaskAttempts = 4
+
+// beginJob opens a job report. The first job of the application additionally
+// pays the cluster's job (application) startup cost.
+func (c *Context) beginJob(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current != nil {
+		panic("rdd: nested or concurrent actions on one Context")
+	}
+	overhead := c.pendingOverhead
+	c.pendingOverhead = 0
+	if !c.started {
+		c.started = true
+		overhead += c.cfg.JobStartup
+	}
+	c.current = &sim.JobReport{Name: name, Overhead: overhead}
+}
+
+func (c *Context) endJob() sim.JobReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Without broadcast variables, every task's shared data is serialized
+	// through the driver's single uplink — the master-bandwidth bottleneck
+	// §IV-C describes — so the shipped volume is charged serially.
+	c.current.Overhead += transferTime(c.cfg, c.jobShipBytes)
+	c.jobShipBytes = 0
+	rep := *c.current
+	c.current = nil
+	c.reports = append(c.reports, rep)
+	return rep
+}
+
+// addShipBytes records naive-mode data shipped with a task of the current
+// job.
+func (c *Context) addShipBytes(n int64) {
+	c.mu.Lock()
+	c.jobShipBytes += n
+	c.mu.Unlock()
+}
+
+func (c *Context) addStage(rep sim.StageReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		panic("rdd: stage executed outside any job")
+	}
+	c.current.Stages = append(c.current.Stages, rep)
+}
+
+// runTasks executes one stage: numTasks tasks on the worker pool, with
+// per-task cost metering, failure retry, and a deterministic makespan. The
+// work callback is invoked with the task index and that task's ledger;
+// prefs (optional, per task) lists the nodes holding the task's input for
+// locality-aware scheduling.
+func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p int, led *sim.Ledger) error) error {
+	costs := make([]sim.Cost, numTasks)
+	errs := make([]error, numTasks)
+
+	sem := make(chan struct{}, c.parallelism)
+	var wg sync.WaitGroup
+	for p := 0; p < numTasks; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var lastErr error
+			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+				led := &sim.Ledger{}
+				lastErr = work(p, led)
+				if lastErr == nil {
+					costs[p] = led.Total()
+					return
+				}
+			}
+			errs[p] = fmt.Errorf("rdd: stage %q task %d failed after %d attempts: %w",
+				name, p, maxTaskAttempts, lastErr)
+		}(p)
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	placed := make([]sim.Placed, numTasks)
+	for i, cost := range costs {
+		placed[i] = sim.Placed{Cost: cost}
+		if i < len(prefs) {
+			placed[i].Pref = prefs[i]
+		}
+	}
+	c.addStage(sim.RunStagePlaced(c.cfg, name, placed))
+	return nil
+}

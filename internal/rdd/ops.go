@@ -1,0 +1,195 @@
+package rdd
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"yafim/internal/sim"
+)
+
+// Distinct removes duplicate elements via a shuffle, like Spark's
+// distinct(): elements are hash-partitioned so equal values meet in one
+// reduce task. The output is sorted within each partition.
+func Distinct[T cmp.Ordered](r *RDD[T], name string, parts int) *RDD[T] {
+	pairs := Map(r, name+":pairs", func(v T) Pair[T, struct{}] {
+		return Pair[T, struct{}]{Key: v}
+	})
+	deduped := ReduceByKey(pairs, name, func(a, _ struct{}) struct{} { return a }, parts)
+	return Keys(deduped, name+":keys")
+}
+
+// GroupByKey gathers all values sharing a key into one slice, via the same
+// shuffle machinery as ReduceByKey but without map-side combining (there is
+// nothing to combine), matching Spark's groupByKey semantics and its higher
+// shuffle volume.
+func GroupByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string, parts int) *RDD[Pair[K, []V]] {
+	listed := Map(r, name+":lift", func(kv Pair[K, V]) Pair[K, []V] {
+		return Pair[K, []V]{Key: kv.Key, Value: []V{kv.Value}}
+	})
+	return ReduceByKey(listed, name, func(a, b []V) []V { return append(a, b...) }, parts)
+}
+
+// Join performs an inner equi-join of two pair RDDs: for every key present
+// in both, every (V, W) value combination is emitted, as in Spark's join.
+// Both sides are shuffled to the same partitioning.
+func Join[K cmp.Ordered, V, W any](left *RDD[Pair[K, V]], right *RDD[Pair[K, W]],
+	name string, parts int) *RDD[Pair[K, JoinedPair[V, W]]] {
+	if left.ctx != right.ctx {
+		panic("rdd: Join across contexts")
+	}
+	if parts <= 0 {
+		parts = left.parts
+	}
+	lg := GroupByKey(left, name+":left", parts)
+	rg := GroupByKey(right, name+":right", parts)
+	out := newRDD[Pair[K, JoinedPair[V, W]]](left.ctx, name, parts,
+		[]preparable{lg, rg}, nil)
+	out.compute = func(p int, led *sim.Ledger) ([]Pair[K, JoinedPair[V, W]], error) {
+		lrows, err := lg.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		rrows, err := rg.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		rightByKey := make(map[K][]W, len(rrows))
+		for _, kv := range rrows {
+			rightByKey[kv.Key] = kv.Value
+		}
+		var joined []Pair[K, JoinedPair[V, W]]
+		for _, kv := range lrows {
+			ws, ok := rightByKey[kv.Key]
+			if !ok {
+				continue
+			}
+			for _, v := range kv.Value {
+				for _, w := range ws {
+					joined = append(joined, Pair[K, JoinedPair[V, W]]{
+						Key: kv.Key, Value: JoinedPair[V, W]{Left: v, Right: w},
+					})
+				}
+			}
+		}
+		led.AddCPU(float64(len(lrows) + len(rrows) + len(joined)))
+		return joined, nil
+	}
+	return out
+}
+
+// JoinedPair is one matched value combination produced by Join.
+type JoinedPair[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// SizeBytes implements Sizer for shuffle cost estimation.
+func (j JoinedPair[V, W]) SizeBytes() int64 {
+	return valueBytes(j.Left) + valueBytes(j.Right)
+}
+
+// Sample returns a deterministic Bernoulli sample of r: each element is
+// kept independently with the given fraction, seeded per partition so
+// repeated runs (and lineage recomputation) yield identical samples.
+func Sample[T any](r *RDD[T], name string, fraction float64, seed int64) *RDD[T] {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("rdd: %s: sample fraction %v out of [0,1]", name, fraction))
+	}
+	return newRDD(r.ctx, name, r.parts, []preparable{r}, func(p int, led *sim.Ledger) ([]T, error) {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(p)))
+		out := make([]T, 0, int(float64(len(rows))*fraction)+1)
+		for _, v := range rows {
+			if rng.Float64() < fraction {
+				out = append(out, v)
+			}
+		}
+		led.AddCPU(float64(len(rows)))
+		return out, nil
+	})
+}
+
+// Repartition redistributes r's elements evenly across parts partitions via
+// a round-robin shuffle, used to fix skew or change parallelism.
+func Repartition[T any](r *RDD[T], name string, parts int) *RDD[T] {
+	if parts <= 0 {
+		panic(fmt.Sprintf("rdd: %s: repartition to %d partitions", name, parts))
+	}
+	st := &struct {
+		once  sync.Once
+		err   error
+		rows  [][]T     // [mapTask*parts + target]
+		bytes [][]int64 // [mapTask][target]
+	}{}
+	out := newRDD[T](r.ctx, name, parts, []preparable{r}, nil)
+	out.prepare = func() error {
+		st.once.Do(func() {
+			st.rows = make([][]T, r.parts*parts)
+			st.bytes = make([][]int64, r.parts)
+			st.err = r.ctx.runTasks(name+":map", r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+				rows, err := r.materialize(p, led)
+				if err != nil {
+					return err
+				}
+				bbytes := make([]int64, parts)
+				var spill int64
+				for i, v := range rows {
+					t := i % parts
+					st.rows[p*parts+t] = append(st.rows[p*parts+t], v)
+					n := recordBytes(v)
+					bbytes[t] += n
+					spill += n
+				}
+				led.AddCPU(float64(len(rows)))
+				led.AddDiskWrite(spill)
+				st.bytes[p] = bbytes
+				return nil
+			})
+		})
+		return st.err
+	}
+	out.compute = func(t int, led *sim.Ledger) ([]T, error) {
+		if st.rows == nil {
+			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage", name)
+		}
+		var outRows []T
+		for p := 0; p < r.parts; p++ {
+			outRows = append(outRows, st.rows[p*parts+t]...)
+			led.AddNet(st.bytes[p][t])
+			led.AddDiskRead(st.bytes[p][t])
+		}
+		led.AddCPU(float64(len(outRows)))
+		return outRows, nil
+	}
+	return out
+}
+
+// Take returns up to n elements from the front partitions (an action).
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	all, err := Collect(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
+
+// SortBy materialises the RDD and returns all elements ordered by the key
+// function (an action; the paper-era Spark sortByKey also gathered range
+// bounds at the driver).
+func SortBy[T any, K cmp.Ordered](r *RDD[T], key func(T) K) ([]T, error) {
+	all, err := Collect(r)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
+	return all, nil
+}

@@ -1,0 +1,187 @@
+package rdd
+
+import (
+	"cmp"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"yafim/internal/sim"
+)
+
+// Pair is a key/value record, the currency of shuffle operations.
+type Pair[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+}
+
+// Sizer lets record types report their serialized size to the shuffle and
+// collect cost models.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// SizeBytes estimates the pair's serialized size from its components.
+func (p Pair[K, V]) SizeBytes() int64 {
+	return valueBytes(p.Key) + valueBytes(p.Value)
+}
+
+// valueBytes estimates the wire size of a single value.
+func valueBytes(v any) int64 {
+	switch x := v.(type) {
+	case Sizer:
+		return x.SizeBytes()
+	case string:
+		return int64(len(x)) + 4
+	case []byte:
+		return int64(len(x)) + 4
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// recordBytes estimates the serialized size of any record.
+func recordBytes[T any](v T) int64 {
+	if s, ok := any(v).(Sizer); ok {
+		return s.SizeBytes()
+	}
+	return valueBytes(v)
+}
+
+// hashKey deterministically hashes a key for partitioning; the result is
+// stable across runs and platforms.
+func hashKey[K cmp.Ordered](k K) uint32 {
+	h := fnv.New32a()
+	switch x := any(k).(type) {
+	case string:
+		h.Write([]byte(x))
+	default:
+		fmt.Fprintf(h, "%v", x)
+	}
+	return h.Sum32()
+}
+
+// shuffleState memoizes one shuffle's map-side output: for every map task a
+// bucket per reduce partition, with the bucket's estimated serialized size.
+type shuffleState[K cmp.Ordered, V any] struct {
+	once    sync.Once
+	err     error
+	buckets [][]map[K]V // [mapTask][reducePart]
+	bytes   [][]int64   // [mapTask][reducePart]
+}
+
+// ReduceByKey combines all values sharing a key with the associative,
+// commutative function combine, producing an RDD with parts partitions (0
+// means inherit the parent's). Like Spark's, the implementation performs
+// map-side combining, hash partitions by key, writes shuffle output to
+// (virtual) local disk, and fetches it over the (virtual) network on the
+// reduce side. Output partitions are sorted by key for determinism.
+func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
+	combine func(V, V) V, parts int) *RDD[Pair[K, V]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	st := &shuffleState[K, V]{}
+	out := newRDD[Pair[K, V]](r.ctx, name, parts, []preparable{r}, nil)
+	out.prepare = func() error {
+		st.once.Do(func() {
+			st.buckets = make([][]map[K]V, r.parts)
+			st.bytes = make([][]int64, r.parts)
+			st.err = r.ctx.runTasks(name+":map", r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+				rows, err := r.materialize(p, led)
+				if err != nil {
+					return err
+				}
+				buckets := make([]map[K]V, parts)
+				for i := range buckets {
+					buckets[i] = make(map[K]V)
+				}
+				for _, kv := range rows {
+					b := buckets[int(hashKey(kv.Key))%parts]
+					if old, ok := b[kv.Key]; ok {
+						b[kv.Key] = combine(old, kv.Value)
+					} else {
+						b[kv.Key] = kv.Value
+					}
+				}
+				sizes := make([]int64, parts)
+				var spill int64
+				for i, b := range buckets {
+					for k, v := range b {
+						sizes[i] += Pair[K, V]{k, v}.SizeBytes()
+					}
+					spill += sizes[i]
+				}
+				// Map-side cost: touch each row twice (hash + combine), then
+				// spill the combined shuffle output to local disk.
+				led.AddCPU(2 * float64(len(rows)))
+				led.AddDiskWrite(spill)
+				st.buckets[p] = buckets
+				st.bytes[p] = sizes
+				return nil
+			})
+		})
+		return st.err
+	}
+	out.compute = func(p int, led *sim.Ledger) ([]Pair[K, V], error) {
+		if st.buckets == nil {
+			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
+		}
+		merged := make(map[K]V)
+		for m := range st.buckets {
+			led.AddNet(st.bytes[m][p])
+			led.AddDiskRead(st.bytes[m][p])
+			for k, v := range st.buckets[m][p] {
+				if old, ok := merged[k]; ok {
+					merged[k] = combine(old, v)
+				} else {
+					merged[k] = v
+				}
+				led.AddCPU(1)
+			}
+		}
+		out := make([]Pair[K, V], 0, len(merged))
+		for k, v := range merged {
+			out = append(out, Pair[K, V]{k, v})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		led.AddCPU(float64(len(out)))
+		return out, nil
+	}
+	return out
+}
+
+// CountByKey counts occurrences of each key via a shuffle and returns the
+// result as a map on the driver.
+func CountByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string) (map[K]int64, error) {
+	ones := Map(r, name+":ones", func(kv Pair[K, V]) Pair[K, int64] {
+		return Pair[K, int64]{kv.Key, 1}
+	})
+	counted := ReduceByKey(ones, name, func(a, b int64) int64 { return a + b }, 0)
+	pairs, err := Collect(counted)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int64, len(pairs))
+	for _, kv := range pairs {
+		out[kv.Key] = kv.Value
+	}
+	return out, nil
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string) *RDD[K] {
+	return Map(r, name, func(kv Pair[K, V]) K { return kv.Key })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string) *RDD[V] {
+	return Map(r, name, func(kv Pair[K, V]) V { return kv.Value })
+}

@@ -1,0 +1,386 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+
+	"yafim/internal/sim"
+)
+
+// RDD is an immutable, partitioned, lazily evaluated dataset. Building an
+// RDD records lineage only; work happens when an action (Collect, Count,
+// Reduce, ...) runs. RDDs are created from a Context via Parallelize or
+// TextFile and derived with the package-level transformation functions
+// (methods cannot introduce new type parameters in Go).
+type RDD[T any] struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+	// compute produces partition p, charging led for the work performed.
+	compute func(p int, led *sim.Ledger) ([]T, error)
+	// deps are the upstream datasets whose shuffle stages must run before
+	// this RDD's partitions can be computed.
+	deps []preparable
+	// prepare runs this RDD's own pre-stage (shuffle map side), if any.
+	prepare func() error
+	// prefs optionally lists, per partition, the nodes holding its input
+	// data (locality preferences). Narrow transformations inherit them.
+	prefs [][]int
+
+	cache *cacheState[T]
+}
+
+type preparable interface {
+	prepareAll() error
+}
+
+// cacheState holds materialised partitions for a cached RDD. Partition p is
+// considered resident on virtual node p mod nodes, which is what KillNode
+// uses to decide which partitions a node failure destroys and how the cache
+// manager accounts per-node memory.
+type cacheState[T any] struct {
+	mgr   *cacheManager
+	mu    sync.Mutex
+	parts []*[]T // nil entry: not cached
+}
+
+func (cs *cacheState[T]) get(p int) ([]T, bool) {
+	cs.mu.Lock()
+	rows := cs.parts[p]
+	cs.mu.Unlock()
+	if rows != nil {
+		cs.mgr.touch(cs, p)
+		return *rows, true
+	}
+	return nil, false
+}
+
+// put stores a computed partition if the executor memory budget admits it.
+// Admission runs before taking cs.mu so manager-driven eviction of this
+// store's own partitions cannot deadlock.
+func (cs *cacheState[T]) put(p int, rows []T) {
+	var bytes int64
+	for _, v := range rows {
+		bytes += recordBytes(v)
+	}
+	if !cs.mgr.admit(cs, p, bytes) {
+		return
+	}
+	cs.mu.Lock()
+	cs.parts[p] = &rows
+	cs.mu.Unlock()
+}
+
+// evictPart implements partEvictor for manager-initiated LRU eviction; the
+// manager has already dropped its accounting.
+func (cs *cacheState[T]) evictPart(p int) {
+	cs.mu.Lock()
+	cs.parts[p] = nil
+	cs.mu.Unlock()
+}
+
+// evictNode and evictAll drop partitions under cs.mu but release manager
+// accounting afterwards: taking mgr.mu while holding cs.mu would invert the
+// admit -> evictPart lock order and deadlock.
+func (cs *cacheState[T]) evictNode(node, nodes int) {
+	cs.mu.Lock()
+	var dropped []int
+	for p := range cs.parts {
+		if p%nodes == node && cs.parts[p] != nil {
+			cs.parts[p] = nil
+			dropped = append(dropped, p)
+		}
+	}
+	cs.mu.Unlock()
+	for _, p := range dropped {
+		cs.mgr.release(cs, p)
+	}
+}
+
+func (cs *cacheState[T]) evictAll() {
+	cs.mu.Lock()
+	var dropped []int
+	for p := range cs.parts {
+		if cs.parts[p] != nil {
+			cs.parts[p] = nil
+			dropped = append(dropped, p)
+		}
+	}
+	cs.mu.Unlock()
+	for _, p := range dropped {
+		cs.mgr.release(cs, p)
+	}
+}
+
+func newRDD[T any](ctx *Context, name string, parts int, deps []preparable,
+	compute func(p int, led *sim.Ledger) ([]T, error)) *RDD[T] {
+	if parts <= 0 {
+		panic(fmt.Sprintf("rdd: %s: partition count %d must be positive", name, parts))
+	}
+	return &RDD[T]{ctx: ctx, id: ctx.allocID(), name: name, parts: parts, deps: deps, compute: compute}
+}
+
+// ID returns the RDD's unique identifier within its context (used by fault
+// injection).
+func (r *RDD[T]) ID() int { return r.id }
+
+// Name returns the RDD's human-readable name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the number of partitions.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// PreferredNodes returns the locality preference of partition p (nil when
+// the partition can run anywhere at no penalty).
+func (r *RDD[T]) PreferredNodes(p int) []int {
+	if p < 0 || p >= len(r.prefs) {
+		return nil
+	}
+	return r.prefs[p]
+}
+
+// Cache marks the RDD so its partitions are kept in executor memory after
+// first computation; later jobs reuse them without recomputation or input
+// re-reads. It returns r for chaining.
+func (r *RDD[T]) Cache() *RDD[T] {
+	if r.cache == nil {
+		r.cache = &cacheState[T]{mgr: r.ctx.cacheMgr, parts: make([]*[]T, r.parts)}
+		r.ctx.registerCache(r.cache)
+	}
+	return r
+}
+
+// materialize produces partition p, consulting the cache and injecting any
+// scheduled task failures.
+func (r *RDD[T]) materialize(p int, led *sim.Ledger) ([]T, error) {
+	if p < 0 || p >= r.parts {
+		return nil, fmt.Errorf("rdd: %s: partition %d out of range [0,%d)", r.name, p, r.parts)
+	}
+	if r.ctx.shouldFail(r.id, p) {
+		return nil, &FlakyError{RDD: r.id, Part: p}
+	}
+	if r.cache != nil {
+		if rows, ok := r.cache.get(p); ok {
+			return rows, nil
+		}
+	}
+	rows, err := r.compute(p, led)
+	if err != nil {
+		return nil, err
+	}
+	if r.cache != nil {
+		r.cache.put(p, rows)
+	}
+	return rows, nil
+}
+
+// prepareAll runs, in lineage order, every pending pre-stage (shuffle map
+// side) that this RDD transitively depends on, then its own.
+func (r *RDD[T]) prepareAll() error {
+	for _, d := range r.deps {
+		if err := d.prepareAll(); err != nil {
+			return err
+		}
+	}
+	if r.prepare != nil {
+		return r.prepare()
+	}
+	return nil
+}
+
+// Parallelize distributes an in-memory slice across parts partitions in
+// contiguous chunks, mirroring SparkContext.parallelize.
+func Parallelize[T any](ctx *Context, name string, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = ctx.cfg.TotalCores()
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if len(data) == 0 {
+		parts = 1
+	}
+	n := len(data)
+	return newRDD(ctx, name, parts, nil, func(p int, led *sim.Ledger) ([]T, error) {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		led.AddCPU(float64(hi - lo))
+		return data[lo:hi], nil
+	})
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], name string, f func(T) U) *RDD[U] {
+	return inherit(r, newRDD(r.ctx, name, r.parts, []preparable{r}, func(p int, led *sim.Ledger) ([]U, error) {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(rows))
+		for i, v := range rows {
+			out[i] = f(v)
+		}
+		led.AddCPU(float64(len(rows)))
+		return out, nil
+	}))
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], name string, f func(T) []U) *RDD[U] {
+	return inherit(r, newRDD(r.ctx, name, r.parts, []preparable{r}, func(p int, led *sim.Ledger) ([]U, error) {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range rows {
+			out = append(out, f(v)...)
+		}
+		led.AddCPU(float64(len(rows) + len(out)))
+		return out, nil
+	}))
+}
+
+// Filter keeps the elements for which pred returns true.
+func Filter[T any](r *RDD[T], name string, pred func(T) bool) *RDD[T] {
+	return inherit(r, newRDD(r.ctx, name, r.parts, []preparable{r}, func(p int, led *sim.Ledger) ([]T, error) {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]T, 0, len(rows))
+		for _, v := range rows {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		led.AddCPU(float64(len(rows)))
+		return out, nil
+	}))
+}
+
+// MapPartitions transforms each partition wholesale. The callback receives
+// the partition index, its rows, and the task's ledger so domain code can
+// charge work beyond the engine's default per-element accounting (e.g. one
+// op per candidate-itemset check).
+func MapPartitions[T, U any](r *RDD[T], name string,
+	f func(p int, rows []T, led *sim.Ledger) ([]U, error)) *RDD[U] {
+	return inherit(r, newRDD(r.ctx, name, r.parts, []preparable{r}, func(p int, led *sim.Ledger) ([]U, error) {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, rows, led)
+	}))
+}
+
+// inherit copies the parent's per-partition locality preferences to a
+// narrow child (same partitioning, same underlying data placement).
+func inherit[T, U any](parent *RDD[T], child *RDD[U]) *RDD[U] {
+	child.prefs = parent.prefs
+	return child
+}
+
+// Union concatenates two RDDs partition-wise (their partition lists are
+// appended, as in Spark).
+func Union[T any](a, b *RDD[T], name string) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	out := newRDD(a.ctx, name, a.parts+b.parts, []preparable{a, b}, func(p int, led *sim.Ledger) ([]T, error) {
+		if p < a.parts {
+			return a.materialize(p, led)
+		}
+		return b.materialize(p-a.parts, led)
+	})
+	if a.prefs != nil || b.prefs != nil {
+		prefs := make([][]int, a.parts+b.parts)
+		copy(prefs, a.prefs)
+		for i := 0; i < b.parts && i < len(b.prefs); i++ {
+			prefs[a.parts+i] = b.prefs[i]
+		}
+		out.prefs = prefs
+	}
+	return out
+}
+
+// runFinal executes the action's final stage over r's partitions and
+// returns the materialised partitions.
+func runFinal[T any](r *RDD[T], action string) ([][]T, error) {
+	r.ctx.beginJob(fmt.Sprintf("%s(%s)", action, r.name))
+	defer r.ctx.endJob()
+	if err := r.prepareAll(); err != nil {
+		return nil, err
+	}
+	results := make([][]T, r.parts)
+	err := r.ctx.runTasks(r.name, r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return err
+		}
+		results[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Collect materialises the RDD and returns all elements in partition order,
+// charging the network cost of returning them to the driver.
+func Collect[T any](r *RDD[T]) ([]T, error) {
+	parts, err := runFinal(r, "collect")
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	var bytes int64
+	for _, rows := range parts {
+		out = append(out, rows...)
+		for _, v := range rows {
+			bytes += recordBytes(v)
+		}
+	}
+	r.ctx.addPendingOverhead(transferTime(r.ctx.cfg, bytes))
+	return out, nil
+}
+
+// Count returns the number of elements.
+func Count[T any](r *RDD[T]) (int64, error) {
+	parts, err := runFinal(r, "count")
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, rows := range parts {
+		n += int64(len(rows))
+	}
+	return n, nil
+}
+
+// Reduce folds all elements with the associative, commutative function f.
+// It returns an error if the RDD is empty.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
+	var zero T
+	parts, err := runFinal(r, "reduce")
+	if err != nil {
+		return zero, err
+	}
+	acc := zero
+	seen := false
+	for _, rows := range parts {
+		for _, v := range rows {
+			if !seen {
+				acc, seen = v, true
+			} else {
+				acc = f(acc, v)
+			}
+		}
+	}
+	if !seen {
+		return zero, fmt.Errorf("rdd: reduce of empty RDD %s", r.name)
+	}
+	return acc, nil
+}

@@ -1,0 +1,144 @@
+// Package sim provides the deterministic performance model used by the
+// execution engines: metered task costs, a ledger for accumulating them from
+// concurrent workers, and a list scheduler that converts the costs of a
+// stage's tasks into a virtual makespan for a configured cluster.
+//
+// The design deliberately separates *results* from *time*. The RDD and
+// MapReduce engines execute real Go code on real goroutines to compute exact
+// answers; while doing so they count the work performed (CPU operations,
+// bytes moved). This package turns those counts into reproducible virtual
+// wall-clock durations so that experiments modelled on a 12-node cluster run
+// identically on any development machine.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cost records the resource demand of one task. CPUOps is an abstract unit
+// of compute (engines count, e.g., one op per item touched or candidate
+// checked); the byte fields are metered I/O volumes.
+type Cost struct {
+	CPUOps    float64 // abstract compute operations
+	DiskRead  int64   // bytes read from node-local or distributed disk
+	DiskWrite int64   // bytes written to node-local or distributed disk
+	Net       int64   // bytes transferred over the cluster network
+}
+
+// Add returns the component-wise sum of c and d.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{
+		CPUOps:    c.CPUOps + d.CPUOps,
+		DiskRead:  c.DiskRead + d.DiskRead,
+		DiskWrite: c.DiskWrite + d.DiskWrite,
+		Net:       c.Net + d.Net,
+	}
+}
+
+// IsZero reports whether the cost records no resource use at all.
+func (c Cost) IsZero() bool {
+	return c.CPUOps == 0 && c.DiskRead == 0 && c.DiskWrite == 0 && c.Net == 0
+}
+
+// String renders the cost compactly for logs and reports.
+func (c Cost) String() string {
+	return fmt.Sprintf("cpu=%.0f dr=%dB dw=%dB net=%dB", c.CPUOps, c.DiskRead, c.DiskWrite, c.Net)
+}
+
+// Ledger accumulates the cost of a single task. Worker goroutines each own
+// one Ledger, so the methods are cheap; Ledger is nevertheless safe for
+// concurrent use because substrate layers (e.g. the DFS) may be shared.
+type Ledger struct {
+	mu   sync.Mutex
+	cost Cost
+}
+
+// AddCPU records n abstract compute operations.
+func (l *Ledger) AddCPU(n float64) {
+	l.mu.Lock()
+	l.cost.CPUOps += n
+	l.mu.Unlock()
+}
+
+// AddDiskRead records n bytes read from disk.
+func (l *Ledger) AddDiskRead(n int64) {
+	l.mu.Lock()
+	l.cost.DiskRead += n
+	l.mu.Unlock()
+}
+
+// AddDiskWrite records n bytes written to disk.
+func (l *Ledger) AddDiskWrite(n int64) {
+	l.mu.Lock()
+	l.cost.DiskWrite += n
+	l.mu.Unlock()
+}
+
+// AddNet records n bytes moved across the network.
+func (l *Ledger) AddNet(n int64) {
+	l.mu.Lock()
+	l.cost.Net += n
+	l.mu.Unlock()
+}
+
+// Add merges an entire pre-computed cost into the ledger.
+func (l *Ledger) Add(c Cost) {
+	l.mu.Lock()
+	l.cost = l.cost.Add(c)
+	l.mu.Unlock()
+}
+
+// Total returns a snapshot of the accumulated cost.
+func (l *Ledger) Total() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cost
+}
+
+// Reset clears the ledger and returns what it held.
+func (l *Ledger) Reset() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.cost
+	l.cost = Cost{}
+	return c
+}
+
+// StageReport summarises one executed stage: how many tasks ran, their
+// summed cost, and the virtual makespan the scheduler computed for them.
+type StageReport struct {
+	Name     string
+	Tasks    int
+	Total    Cost
+	Makespan time.Duration
+}
+
+// JobReport aggregates the stages of one logical job (one MapReduce job, or
+// one RDD action) into a total virtual duration.
+type JobReport struct {
+	Name     string
+	Stages   []StageReport
+	Overhead time.Duration // startup / scheduling time outside any stage
+}
+
+// Duration returns the job's total virtual time: startup overhead plus the
+// sum of stage makespans (stages within a job are sequential barriers, as in
+// both Hadoop and Spark's synchronous stage model).
+func (j *JobReport) Duration() time.Duration {
+	d := j.Overhead
+	for _, s := range j.Stages {
+		d += s.Makespan
+	}
+	return d
+}
+
+// TotalCost returns the summed resource cost across all stages.
+func (j *JobReport) TotalCost() Cost {
+	var c Cost
+	for _, s := range j.Stages {
+		c = c.Add(s.Total)
+	}
+	return c
+}

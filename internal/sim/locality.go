@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"yafim/internal/cluster"
+)
+
+// Placed is a task cost with optional data-locality preferences: the nodes
+// holding a local replica of the task's input. An empty Pref means the task
+// can run anywhere at no penalty (e.g. shuffle reads, already remote).
+type Placed struct {
+	Cost
+	Pref []int
+}
+
+// MakespanPlaced schedules tasks with locality preferences, modelling the
+// delay-scheduling policy of both Hadoop and Spark (spark.locality.wait):
+// a task runs on a preferred node unless that would delay it beyond the
+// configured locality wait relative to the best core anywhere; when it does
+// run remotely, its input bytes travel over the network instead of the
+// local disk, and the task pays for both.
+func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(tasks) == 0 {
+		return cfg.StageOverhead
+	}
+	durs := make([]time.Duration, len(tasks))
+	for i, t := range tasks {
+		durs[i] = TaskTime(cfg, t.Cost)
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return durs[order[a]] > durs[order[b]] })
+
+	cores := make([]time.Duration, cfg.TotalCores())
+	nodeOf := func(core int) int { return core / cfg.CoresPerNode }
+	for _, ti := range order {
+		best := 0
+		for ci := 1; ci < len(cores); ci++ {
+			if cores[ci] < cores[best] {
+				best = ci
+			}
+		}
+		chosen := best
+		remote := false
+		if prefs := tasks[ti].Pref; len(prefs) > 0 {
+			// Least-loaded core on a preferred node.
+			bestLocal := -1
+			for ci := 0; ci < len(cores); ci++ {
+				if !contains(prefs, nodeOf(ci)) {
+					continue
+				}
+				if bestLocal < 0 || cores[ci] < cores[bestLocal] {
+					bestLocal = ci
+				}
+			}
+			switch {
+			case bestLocal >= 0 && cores[bestLocal] <= cores[best]+localityWait(cfg):
+				chosen = bestLocal
+			default:
+				remote = !contains(prefs, nodeOf(best))
+			}
+		}
+		d := durs[ti]
+		if remote {
+			d += remoteReadPenalty(cfg, tasks[ti].Cost)
+		}
+		cores[chosen] += d
+	}
+	var makespan time.Duration
+	for _, load := range cores {
+		if load > makespan {
+			makespan = load
+		}
+	}
+	return cfg.StageOverhead + makespan
+}
+
+// localityWait is how long a task will queue behind a busy preferred node
+// before accepting a remote slot — Spark's 3 s default scaled to our task
+// granularity: ten task launches.
+func localityWait(cfg cluster.Config) time.Duration {
+	return 10 * cfg.TaskLaunch
+}
+
+// remoteReadPenalty is the extra time a non-local task spends pulling its
+// input across the network.
+func remoteReadPenalty(cfg cluster.Config, c Cost) time.Duration {
+	share := float64(cfg.CoresPerNode)
+	secs := float64(c.DiskRead) / (cfg.NetBWPerSec / share)
+	return time.Duration(secs * float64(time.Second))
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RunStagePlaced builds a StageReport for a stage whose tasks carry
+// locality preferences.
+func RunStagePlaced(cfg cluster.Config, name string, tasks []Placed) StageReport {
+	var total Cost
+	for _, t := range tasks {
+		total = total.Add(t.Cost)
+	}
+	return StageReport{
+		Name:     name,
+		Tasks:    len(tasks),
+		Total:    total,
+		Makespan: MakespanPlaced(cfg, tasks),
+	}
+}

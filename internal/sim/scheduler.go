@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"yafim/internal/cluster"
+)
+
+// TaskTime converts one task's cost into a service duration on the given
+// cluster. CPU work runs on a single core at the per-core rate. Disk and
+// network traffic move at the per-node bandwidth divided by the node's core
+// count: the model assumes every core of a node can be busy simultaneously,
+// so each concurrently running task receives an equal bandwidth share. That
+// pessimistic-but-fair share keeps the model deterministic and monotone:
+// adding nodes adds aggregate bandwidth.
+func TaskTime(cfg cluster.Config, c Cost) time.Duration {
+	secs := c.CPUOps / cfg.CPUOpsPerSec
+	share := float64(cfg.CoresPerNode)
+	secs += float64(c.DiskRead+c.DiskWrite) / (cfg.DiskBWPerSec / share)
+	secs += float64(c.Net) / (cfg.NetBWPerSec / share)
+	return cfg.TaskLaunch + time.Duration(secs*float64(time.Second))
+}
+
+// Makespan schedules the stage's tasks onto the cluster's virtual cores
+// using the classic LPT (longest processing time first) greedy rule and
+// returns the resulting stage completion time, including the per-stage
+// scheduling overhead. The schedule is deterministic: ties in both task
+// ordering and core selection break on the lowest index.
+func Makespan(cfg cluster.Config, tasks []Cost) time.Duration {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(tasks) == 0 {
+		return cfg.StageOverhead
+	}
+	durs := make([]time.Duration, len(tasks))
+	for i, c := range tasks {
+		durs[i] = TaskTime(cfg, c)
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return durs[order[a]] > durs[order[b]] })
+
+	cores := make([]time.Duration, cfg.TotalCores())
+	for _, ti := range order {
+		// Find the least-loaded core; with at most a few hundred cores a
+		// linear scan beats heap bookkeeping and stays obviously correct.
+		best := 0
+		for ci := 1; ci < len(cores); ci++ {
+			if cores[ci] < cores[best] {
+				best = ci
+			}
+		}
+		cores[best] += durs[ti]
+	}
+	var makespan time.Duration
+	for _, load := range cores {
+		if load > makespan {
+			makespan = load
+		}
+	}
+	return cfg.StageOverhead + makespan
+}
+
+// RunStage builds a StageReport for a named stage from per-task costs.
+func RunStage(cfg cluster.Config, name string, tasks []Cost) StageReport {
+	var total Cost
+	for _, c := range tasks {
+		total = total.Add(c)
+	}
+	return StageReport{
+		Name:     name,
+		Tasks:    len(tasks),
+		Total:    total,
+		Makespan: Makespan(cfg, tasks),
+	}
+}

@@ -1,0 +1,54 @@
+package son
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"yafim/internal/apriori"
+	"yafim/internal/cluster"
+	"yafim/internal/dataset"
+	"yafim/internal/dfs"
+	"yafim/internal/itemset"
+	"yafim/internal/mapreduce"
+)
+
+func TestFuzzSONAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 1 + rng.Intn(30)
+		nItems := 1 + rng.Intn(10)
+		rows := make([][]itemset.Item, nTx)
+		for i := range rows {
+			l := 1 + rng.Intn(nItems)
+			for j := 0; j < l; j++ {
+				rows[i] = append(rows[i], itemset.Item(rng.Intn(nItems)))
+			}
+		}
+		db := itemset.NewDB(fmt.Sprintf("f%d", seed), rows)
+		for _, sup := range []float64{0.1, 0.3, 0.6} {
+			for _, blockSize := range []int64{8, 24, 1 << 16} {
+				fs := dfs.New(4, dfs.WithBlockSize(blockSize), dfs.WithReplication(2))
+				path := "/data/x.dat"
+				if _, err := dataset.Stage(fs, path, db); err != nil {
+					t.Fatal(err)
+				}
+				runner, err := mapreduce.NewRunner(fs, cluster.Local())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Mine(runner, fs, path, "/work", Config{MinSupport: sup})
+				if err != nil {
+					t.Fatalf("seed=%d sup=%v bs=%d: %v", seed, sup, blockSize, err)
+				}
+				want, err := apriori.Mine(db, sup, apriori.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Result.Equal(want) {
+					t.Errorf("seed=%d sup=%v bs=%d: SON disagrees\n got %d sets\nwant %d sets", seed, sup, blockSize, got.Result.NumFrequent(), want.NumFrequent())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package son implements the SON algorithm (Savasere, Omiecinski &
+// Navathe) on the MapReduce engine — the "one-phase" family the paper's
+// related-work section (§III) contrasts with k-phase algorithms like
+// MRApriori. SON needs exactly two MapReduce jobs regardless of the longest
+// frequent itemset:
+//
+//  1. Candidate job: each map task mines its input split locally with
+//     sequential Apriori at the same relative support and emits every
+//     locally frequent itemset. Any globally frequent itemset is locally
+//     frequent in at least one split (pigeonhole on supports), so the union
+//     of local results is a complete candidate set.
+//  2. Count job: candidate supports are counted exactly over the full
+//     dataset with the usual hash-tree mappers, and the reducer keeps those
+//     meeting the global minimum support, eliminating false positives.
+//
+// Trading k job startups for potentially huge intermediate candidate sets
+// is exactly the trade-off §III describes ("may lead memory overflow and
+// too much execution time for large data sets").
+package son
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"yafim/internal/apriori"
+	"yafim/internal/dfs"
+	"yafim/internal/hashtree"
+	"yafim/internal/itemset"
+	"yafim/internal/mapreduce"
+	"yafim/internal/sim"
+)
+
+// Config parameterises a SON run.
+type Config struct {
+	// MinSupport is the relative minimum support threshold in (0,1].
+	MinSupport float64
+	// NumReducers sets reduce-side parallelism (0 = cluster core count).
+	NumReducers int
+	// NumMapTasks is a minimum map-task count hint (0 = one per block).
+	NumMapTasks int
+	// MaxK bounds the local mining depth (0 = unbounded).
+	MaxK int
+}
+
+// Mine runs SON over the transaction file at inputPath, staging files under
+// workDir. The returned trace has one pass per job (candidate generation,
+// then counting).
+func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
+	cfg Config) (*apriori.Trace, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("son: MinSupport %v out of (0,1]", cfg.MinSupport)
+	}
+	reducers := cfg.NumReducers
+	if reducers <= 0 {
+		reducers = runner.Config().TotalCores()
+	}
+
+	// Job 1: local mining per split; the reducer is a dedup (first value).
+	candDir := workDir + "/candidates"
+	mapreduce.CleanOutput(fs, candDir)
+	rep1, counters, err := runner.Run(mapreduce.Job{
+		Name:      "son-candidates",
+		Input:     []string{inputPath},
+		OutputDir: candDir,
+		NewMapper: func() mapreduce.Mapper {
+			return &localMiner{support: cfg.MinSupport, maxK: cfg.MaxK}
+		},
+		NewReducer:  func() mapreduce.Reducer { return dedupReducer{} },
+		NumReducers: reducers,
+		MapTasks:    cfg.NumMapTasks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("son: candidate job: %w", err)
+	}
+	n := counters.MapInputRecords
+	if n == 0 {
+		return nil, fmt.Errorf("son: %s holds no transactions", inputPath)
+	}
+	minCount := minSupportCount(cfg.MinSupport, n)
+
+	kvs, err := mapreduce.ReadOutput(fs, candDir, nil)
+	if err != nil {
+		return nil, fmt.Errorf("son: candidate output: %w", err)
+	}
+	var candidates []itemset.Itemset
+	for _, kv := range kvs {
+		set, err := parseSet(kv.Key)
+		if err != nil {
+			return nil, fmt.Errorf("son: candidate output: %w", err)
+		}
+		candidates = append(candidates, set)
+	}
+
+	trace := &apriori.Trace{Result: &apriori.Result{MinSupport: minCount}}
+	trace.Passes = append(trace.Passes, apriori.PassStat{
+		K: 1, Candidates: int(n), Frequent: len(candidates), Duration: rep1.Duration(),
+	})
+	if len(candidates) == 0 {
+		return trace, nil
+	}
+
+	// Job 2: exact global counting of every candidate.
+	cachePath := workDir + "/candidate-set"
+	if err := fs.WriteFile(cachePath, encodeSets(candidates), nil); err != nil {
+		return nil, fmt.Errorf("son: staging candidates: %w", err)
+	}
+	outDir := workDir + "/frequent"
+	mapreduce.CleanOutput(fs, outDir)
+	rep2, _, err := runner.Run(mapreduce.Job{
+		Name:        "son-count",
+		Input:       []string{inputPath},
+		OutputDir:   outDir,
+		NewMapper:   func() mapreduce.Mapper { return &countMapper{cachePath: cachePath} },
+		NewCombiner: func() mapreduce.Reducer { return sumReducer{threshold: 0} },
+		NewReducer:  func() mapreduce.Reducer { return sumReducer{threshold: minCount} },
+		NumReducers: reducers,
+		MapTasks:    cfg.NumMapTasks,
+		CacheFiles:  []string{cachePath},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("son: count job: %w", err)
+	}
+
+	kvs, err = mapreduce.ReadOutput(fs, outDir, nil)
+	if err != nil {
+		return nil, fmt.Errorf("son: count output: %w", err)
+	}
+	byLevel := map[int][]apriori.SetCount{}
+	for _, kv := range kvs {
+		set, err := parseSet(kv.Key)
+		if err != nil {
+			return nil, fmt.Errorf("son: count output: %w", err)
+		}
+		count, err := strconv.Atoi(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("son: bad count %q for %q", kv.Value, kv.Key)
+		}
+		byLevel[set.Len()] = append(byLevel[set.Len()], apriori.SetCount{Set: set, Count: count})
+	}
+	frequent := 0
+	for k := 1; ; k++ {
+		sets, ok := byLevel[k]
+		if !ok {
+			break
+		}
+		frequent += len(sets)
+		trace.Result.Levels = append(trace.Result.Levels, apriori.NewLevel(k, sets))
+	}
+	trace.Passes = append(trace.Passes, apriori.PassStat{
+		K: 2, Candidates: len(candidates), Frequent: frequent, Duration: rep2.Duration(),
+	})
+	return trace, nil
+}
+
+// localMiner buffers its split's transactions and mines them in Cleanup,
+// emitting each locally frequent itemset once.
+type localMiner struct {
+	support float64
+	maxK    int
+	rows    [][]itemset.Item
+}
+
+func (m *localMiner) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (m *localMiner) Map(_ int64, line string, _ mapreduce.Emit, led *sim.Ledger) error {
+	set, err := parseSet(line)
+	if err != nil {
+		return fmt.Errorf("son: transaction: %w", err)
+	}
+	m.rows = append(m.rows, set)
+	led.AddCPU(float64(len(line)))
+	return nil
+}
+
+func (m *localMiner) Cleanup(emit mapreduce.Emit, led *sim.Ledger) error {
+	if len(m.rows) == 0 {
+		return nil
+	}
+	db := itemset.NewDB("split", m.rows)
+	res, err := apriori.Mine(db, m.support, apriori.Options{MaxK: m.maxK})
+	if err != nil {
+		return fmt.Errorf("son: local mining: %w", err)
+	}
+	// Local mining cost: approximate with transactions scanned per level.
+	led.AddCPU(float64(db.Len() * max(res.MaxK(), 1) * 4))
+	for _, level := range res.Levels {
+		for _, sc := range level.Sets {
+			emit(setKey(sc.Set), "1")
+		}
+	}
+	return nil
+}
+
+// dedupReducer keeps one record per candidate key.
+type dedupReducer struct{}
+
+func (dedupReducer) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (dedupReducer) Reduce(key string, _ []string, emit mapreduce.Emit, _ *sim.Ledger) error {
+	emit(key, "1")
+	return nil
+}
+
+// countMapper matches mixed-length candidates (one hash tree per length)
+// against each transaction.
+type countMapper struct {
+	cachePath string
+	trees     []*hashtree.Tree
+	keys      [][]string
+}
+
+func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
+	data, ok := cache[m.cachePath]
+	if !ok {
+		return fmt.Errorf("son: candidate file %s not localised", m.cachePath)
+	}
+	byLen := map[int][]itemset.Itemset{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		set, err := parseSet(line)
+		if err != nil {
+			return fmt.Errorf("son: candidate file: %w", err)
+		}
+		byLen[set.Len()] = append(byLen[set.Len()], set)
+	}
+	lengths := make([]int, 0, len(byLen))
+	for k := range byLen {
+		lengths = append(lengths, k)
+	}
+	sort.Ints(lengths)
+	for _, k := range lengths {
+		cands := byLen[k]
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = setKey(c)
+		}
+		m.trees = append(m.trees, hashtree.Build(cands))
+		m.keys = append(m.keys, keys)
+		led.AddCPU(float64(len(cands) * k))
+	}
+	return nil
+}
+
+func (m *countMapper) Cleanup(mapreduce.Emit, *sim.Ledger) error { return nil }
+
+func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Ledger) error {
+	set, err := parseSet(line)
+	if err != nil {
+		return fmt.Errorf("son: transaction: %w", err)
+	}
+	led.AddCPU(float64(len(line)))
+	for ti, tree := range m.trees {
+		ops := tree.Subset(set, func(i int) { emit(m.keys[ti][i], "1") })
+		led.AddCPU(float64(ops))
+	}
+	return nil
+}
+
+// sumReducer sums counts and keeps keys meeting the threshold (0 keeps all,
+// for combiner use).
+type sumReducer struct{ threshold int }
+
+func (sumReducer) Setup(mapreduce.CacheFiles, *sim.Ledger) error { return nil }
+
+func (r sumReducer) Reduce(key string, values []string, emit mapreduce.Emit, _ *sim.Ledger) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("son: bad partial count %q for %q", v, key)
+		}
+		total += n
+	}
+	if total >= r.threshold {
+		emit(key, strconv.Itoa(total))
+	}
+	return nil
+}
+
+func setKey(s itemset.Itemset) string {
+	var sb strings.Builder
+	for i, it := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(it)))
+	}
+	return sb.String()
+}
+
+func parseSet(text string) (itemset.Itemset, error) {
+	fields := strings.Fields(text)
+	items := make([]itemset.Item, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad item %q", f)
+		}
+		items[i] = itemset.Item(v)
+	}
+	return itemset.New(items...), nil
+}
+
+func encodeSets(sets []itemset.Itemset) []byte {
+	var sb strings.Builder
+	for _, s := range sets {
+		sb.WriteString(setKey(s))
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+func minSupportCount(rel float64, n int64) int {
+	c := int(rel * float64(n))
+	if float64(c) < rel*float64(n) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,115 @@
+// Package trie implements a prefix trie over candidate k-itemsets — the
+// other classic candidate store in Apriori implementations, and the
+// design-space alternative to the paper's hash tree (internal/hashtree).
+// Both expose the same Subset enumeration contract, so they are directly
+// interchangeable and benchmarked against each other.
+//
+// A trie stores each candidate as a root-to-leaf path of items in sorted
+// order. Subset enumeration walks transaction items against trie edges,
+// never touching candidates outside the transaction's prefix space; unlike
+// the hash tree it needs no final verification step because every reached
+// leaf is an exact match.
+package trie
+
+import (
+	"fmt"
+
+	"yafim/internal/itemset"
+)
+
+// Trie is a prefix trie over candidate itemsets of one fixed length k.
+type Trie struct {
+	k    int
+	root *node
+	sets []itemset.Itemset
+}
+
+type node struct {
+	children map[itemset.Item]*node
+	entry    int // candidate index at depth k; -1 otherwise
+}
+
+func newNode() *node {
+	return &node{children: make(map[itemset.Item]*node), entry: -1}
+}
+
+// Build constructs a trie over the given candidate k-itemsets. All
+// candidates must share length k >= 1 and be canonical; Build panics
+// otherwise, mirroring hashtree.Build.
+func Build(candidates []itemset.Itemset) *Trie {
+	if len(candidates) == 0 {
+		panic("trie: Build with no candidates")
+	}
+	t := &Trie{k: candidates[0].Len(), root: newNode(), sets: candidates}
+	if t.k < 1 {
+		panic("trie: candidates must have at least one item")
+	}
+	for i, c := range candidates {
+		if c.Len() != t.k {
+			panic(fmt.Sprintf("trie: candidate %d has length %d, want %d", i, c.Len(), t.k))
+		}
+		cur := t.root
+		for _, it := range c {
+			next, ok := cur.children[it]
+			if !ok {
+				next = newNode()
+				cur.children[it] = next
+			}
+			cur = next
+		}
+		cur.entry = i
+	}
+	return t
+}
+
+// K returns the candidate itemset length.
+func (t *Trie) K() int { return t.k }
+
+// Len returns the number of candidates stored.
+func (t *Trie) Len() int { return len(t.sets) }
+
+// Candidate returns the candidate with the given index.
+func (t *Trie) Candidate(i int) itemset.Itemset { return t.sets[i] }
+
+// Subset calls visit(i) for every candidate i contained in the transaction
+// items (which must be canonical), returning the number of elementary
+// operations performed (edges followed), for the performance model.
+func (t *Trie) Subset(items itemset.Itemset, visit func(i int)) int64 {
+	if items.Len() < t.k {
+		return 1
+	}
+	return t.subset(t.root, items, 0, t.k, visit)
+}
+
+// subset explores extensions of the current node with transaction items at
+// positions >= from. remaining is how many more items the path needs; the
+// walk prunes branches that cannot be completed with the items left.
+func (t *Trie) subset(n *node, items itemset.Itemset, from, remaining int, visit func(i int)) int64 {
+	if remaining == 0 {
+		if n.entry >= 0 {
+			visit(n.entry)
+		}
+		return 1
+	}
+	ops := int64(1)
+	// Not enough transaction items left to fill the path: prune.
+	for i := from; i <= items.Len()-remaining; i++ {
+		child, ok := n.children[items[i]]
+		ops++
+		if !ok {
+			continue
+		}
+		ops += t.subset(child, items, i+1, remaining-1, visit)
+	}
+	return ops
+}
+
+// CountSupports scans the transactions and returns every candidate's
+// support count plus the operations performed, matching the hashtree API.
+func (t *Trie) CountSupports(transactions []itemset.Transaction) (counts []int, ops int64) {
+	counts = make([]int, t.Len())
+	for _, tr := range transactions {
+		ops += t.Subset(tr.Items, func(i int) { counts[i]++ })
+	}
+	return counts, ops
+}

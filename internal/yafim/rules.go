@@ -1,0 +1,69 @@
+package yafim
+
+import (
+	"fmt"
+
+	"yafim/internal/apriori"
+	"yafim/internal/rdd"
+	"yafim/internal/rules"
+	"yafim/internal/sim"
+)
+
+// ParallelRules derives association rules from a mining result on the RDD
+// engine: the frequent itemsets of size >= 2 are distributed across the
+// cluster, the full result (needed for subset supports) is broadcast once,
+// and each task enumerates its itemsets' antecedents independently — the
+// same broadcast-and-partition pattern Phase II uses for counting.
+//
+// The output is identical to rules.Generate (same ordering); only the
+// execution strategy and its simulated cost differ.
+func ParallelRules(ctx *rdd.Context, res *apriori.Result, minConfidence float64,
+	numTransactions int) ([]rules.Rule, error) {
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("yafim: minConfidence %v out of [0,1]", minConfidence)
+	}
+	if numTransactions <= 0 {
+		return nil, fmt.Errorf("yafim: numTransactions must be positive, got %d", numTransactions)
+	}
+	var work []apriori.SetCount
+	for k := 2; k <= res.MaxK(); k++ {
+		work = append(work, res.Frequent(k)...)
+	}
+	if len(work) == 0 {
+		return nil, nil
+	}
+
+	// Broadcast the result: every task needs subset supports. Size estimate
+	// mirrors the hash tree's (4 bytes/item + framing per itemset).
+	var bytes int64
+	for _, level := range res.Levels {
+		for _, sc := range level.Sets {
+			bytes += int64(4*sc.Set.Len() + 8)
+		}
+	}
+	bc := rdd.NewBroadcast(ctx, res, bytes)
+
+	dist := rdd.Parallelize(ctx, "frequentItemsets", work, ctx.Config().TotalCores())
+	perTask := rdd.MapPartitions(dist, "deriveRules",
+		func(_ int, sets []apriori.SetCount, led *sim.Ledger) ([]rules.Rule, error) {
+			shared := bc.Acquire(led)
+			var out []rules.Rule
+			for _, sc := range sets {
+				partial := &apriori.Result{MinSupport: shared.MinSupport, Levels: shared.Levels}
+				rs, err := rules.FromItemset(partial, sc, minConfidence, numTransactions)
+				if err != nil {
+					return nil, err
+				}
+				// One op per enumerated antecedent (2^k - 2 subsets).
+				led.AddCPU(float64(int(1) << sc.Set.Len()))
+				out = append(out, rs...)
+			}
+			return out, nil
+		})
+	collected, err := rdd.Collect(perTask)
+	if err != nil {
+		return nil, fmt.Errorf("yafim: parallel rules: %w", err)
+	}
+	rules.Sort(collected)
+	return collected, nil
+}

@@ -1,0 +1,246 @@
+// Package yafim implements YAFIM (Yet Another Frequent Itemset Mining),
+// the paper's parallel Apriori on the Spark-substitute RDD engine.
+//
+// The algorithm follows §IV exactly:
+//
+//   - Phase I loads the transaction dataset from the DFS into an RDD, caches
+//     it in cluster memory, and computes the frequent 1-itemsets with a
+//     flatMap → map → reduceByKey pipeline (Fig. 1, Algorithm 2).
+//   - Phase II iterates: candidate (k+1)-itemsets are generated from the
+//     frequent k-itemsets (ap_gen), stored in a hash tree, broadcast to all
+//     workers, matched against the cached transactions RDD with flatMap, and
+//     counted with reduceByKey (Fig. 2, Algorithm 3).
+//
+// The transactions RDD is read from the DFS once and reused in memory for
+// every pass — the property that gives YAFIM its advantage over the per-job
+// re-scanning MapReduce implementation.
+package yafim
+
+import (
+	"fmt"
+	"time"
+
+	"yafim/internal/apriori"
+	"yafim/internal/dfs"
+	"yafim/internal/hashtree"
+	"yafim/internal/itemset"
+	"yafim/internal/rdd"
+	"yafim/internal/sim"
+)
+
+// Config parameterises a mining run.
+type Config struct {
+	// MinSupport is the relative minimum support threshold in (0,1].
+	MinSupport float64
+	// NumPartitions sets reduce-side parallelism (0 = cluster core count).
+	NumPartitions int
+	// MaxK stops after frequent itemsets of this size (0 = unbounded).
+	MaxK int
+	// DisableCache skips caching the transactions RDD, forcing every pass to
+	// re-read the input from the DFS (the §IV-B ablation).
+	DisableCache bool
+	// BruteForceMatching replaces the Phase II hash tree with a linear scan
+	// of all candidates per transaction (the §IV-A ablation).
+	BruteForceMatching bool
+}
+
+// Mine runs YAFIM over the transaction file at path in the DFS.
+func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*apriori.Trace, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("yafim: MinSupport %v out of (0,1]", cfg.MinSupport)
+	}
+	parts := cfg.NumPartitions
+	if parts <= 0 {
+		parts = ctx.Config().TotalCores()
+	}
+
+	// Phase I — load transactions into a cached RDD.
+	lines, err := rdd.TextFile(ctx, fs, path, parts)
+	if err != nil {
+		return nil, fmt.Errorf("yafim: %w", err)
+	}
+	trans := rdd.MapPartitions(lines, "transactions",
+		func(_ int, rows []string, led *sim.Ledger) ([]itemset.Itemset, error) {
+			out := make([]itemset.Itemset, 0, len(rows))
+			parsedBytes := 0
+			for _, row := range rows {
+				t, err := parseTransaction(row)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+				parsedBytes += len(row)
+			}
+			// Text parsing costs one op per byte; caching the RDD is what
+			// saves re-paying it on every pass.
+			led.AddCPU(float64(parsedBytes))
+			return out, nil
+		})
+	if !cfg.DisableCache {
+		trans.Cache()
+	}
+
+	passStart := markJobs(ctx)
+	n, err := rdd.Count(trans)
+	if err != nil {
+		return nil, fmt.Errorf("yafim: counting transactions: %w", err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("yafim: %s holds no transactions", path)
+	}
+	minCount := minSupportCount(cfg.MinSupport, n)
+	res := &apriori.Result{MinSupport: minCount}
+	out := &apriori.Trace{Result: res}
+
+	// Phase I counting: flatMap items, map to pairs, reduceByKey, prune.
+	items := rdd.FlatMap(trans, "items", func(t itemset.Itemset) []itemset.Item { return t })
+	pairs := rdd.Map(items, "itemPairs", func(it itemset.Item) rdd.Pair[int32, int] {
+		return rdd.Pair[int32, int]{Key: int32(it), Value: 1}
+	})
+	counts := rdd.ReduceByKey(pairs, "itemCounts", func(a, b int) int { return a + b }, parts)
+	frequent := rdd.Filter(counts, "frequentItems", func(kv rdd.Pair[int32, int]) bool {
+		return kv.Value >= minCount
+	})
+	l1Pairs, err := rdd.Collect(frequent)
+	if err != nil {
+		return nil, fmt.Errorf("yafim: phase I: %w", err)
+	}
+	l1 := make([]apriori.SetCount, len(l1Pairs))
+	for i, kv := range l1Pairs {
+		l1[i] = apriori.SetCount{Set: itemset.New(itemset.Item(kv.Key)), Count: kv.Value}
+	}
+	out.Passes = append(out.Passes, apriori.PassStat{
+		K: 1, Candidates: int(n), Frequent: len(l1), Duration: jobsSince(ctx, passStart),
+	})
+	if len(l1) == 0 {
+		return out, nil
+	}
+	res.Levels = append(res.Levels, apriori.NewLevel(1, l1))
+
+	// Phase II — iterate L_k -> C_{k+1} -> L_{k+1}.
+	prev := sets(l1)
+	for k := 2; cfg.MaxK == 0 || k <= cfg.MaxK; k++ {
+		passStart = markJobs(ctx)
+		cands, err := apriori.Gen(prev)
+		if err != nil {
+			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		lk, err := countPass(ctx, trans, cands, minCount, parts, k, cfg.BruteForceMatching)
+		if err != nil {
+			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)
+		}
+		out.Passes = append(out.Passes, apriori.PassStat{
+			K: k, Candidates: len(cands), Frequent: len(lk), Duration: jobsSince(ctx, passStart),
+		})
+		if len(lk) == 0 {
+			break
+		}
+		res.Levels = append(res.Levels, apriori.NewLevel(k, lk))
+		prev = sets(lk)
+	}
+	return out, nil
+}
+
+// countPass runs one Phase II support-counting job: broadcast the candidate
+// hash tree, flatMap the cached transactions into <candidate, 1> pairs,
+// reduceByKey, and keep those meeting the minimum support.
+func countPass(ctx *rdd.Context, trans *rdd.RDD[itemset.Itemset],
+	cands []itemset.Itemset, minCount, parts, k int, brute bool) ([]apriori.SetCount, error) {
+
+	tree := hashtree.Build(cands)
+	bc := rdd.NewBroadcast(ctx, tree, tree.SerializedBytes())
+
+	name := fmt.Sprintf("matchC%d", k)
+	found := rdd.MapPartitions(trans, name,
+		func(_ int, rows []itemset.Itemset, led *sim.Ledger) ([]rdd.Pair[int, int], error) {
+			t := bc.Acquire(led)
+			var out []rdd.Pair[int, int]
+			if brute {
+				for _, tr := range rows {
+					for i, c := range t.Candidates() {
+						led.AddCPU(float64(c.Len()))
+						if tr.ContainsAll(c) {
+							out = append(out, rdd.Pair[int, int]{Key: i, Value: 1})
+						}
+					}
+				}
+				return out, nil
+			}
+			for _, tr := range rows {
+				ops := t.Subset(tr, func(i int) {
+					out = append(out, rdd.Pair[int, int]{Key: i, Value: 1})
+				})
+				led.AddCPU(float64(ops))
+			}
+			return out, nil
+		})
+	counted := rdd.ReduceByKey(found, fmt.Sprintf("countC%d", k),
+		func(a, b int) int { return a + b }, parts)
+	frequent := rdd.Filter(counted, fmt.Sprintf("L%d", k), func(kv rdd.Pair[int, int]) bool {
+		return kv.Value >= minCount
+	})
+	pairs, err := rdd.Collect(frequent)
+	if err != nil {
+		return nil, err
+	}
+	lk := make([]apriori.SetCount, len(pairs))
+	for i, kv := range pairs {
+		lk[i] = apriori.SetCount{Set: tree.Candidate(kv.Key), Count: kv.Value}
+	}
+	return lk, nil
+}
+
+func sets(scs []apriori.SetCount) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Set
+	}
+	return out
+}
+
+func parseTransaction(line string) (itemset.Itemset, error) {
+	var items []itemset.Item
+	v, inNum := 0, false
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] >= '0' && line[i] <= '9' {
+			v = v*10 + int(line[i]-'0')
+			inNum = true
+			continue
+		}
+		if i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			return nil, fmt.Errorf("yafim: bad transaction line %q", line)
+		}
+		if inNum {
+			items = append(items, itemset.Item(v))
+			v, inNum = 0, false
+		}
+	}
+	return itemset.New(items...), nil
+}
+
+// minSupportCount converts a relative support into an absolute count over n
+// transactions, rounding up (same contract as itemset.DB.MinSupportCount).
+func minSupportCount(rel float64, n int64) int {
+	c := int(rel * float64(n))
+	if float64(c) < rel*float64(n) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// markJobs and jobsSince bracket a pass to attribute job durations to it.
+func markJobs(ctx *rdd.Context) int { return len(ctx.Reports()) }
+
+func jobsSince(ctx *rdd.Context, mark int) time.Duration {
+	var d time.Duration
+	for _, r := range ctx.Reports()[mark:] {
+		d += r.Duration()
+	}
+	return d
+}

@@ -1,0 +1,274 @@
+// Package yafim is a Go reproduction of "YAFIM: A Parallel Frequent
+// Itemset Mining Algorithm with Spark" (Qiu, Gu, Yuan, Huang — IEEE IPDPSW
+// 2014): the YAFIM algorithm itself, the Spark-like RDD engine and
+// Hadoop-like MapReduce engine it is evaluated against, sequential oracles
+// (Apriori, Eclat, FP-Growth), association-rule generation, the paper's
+// benchmark dataset generators, and a deterministic cluster performance
+// model that reproduces the paper's figures on any machine.
+//
+// This package is the public facade over the internal subsystems. The
+// typical flow is: obtain a DB (load a .dat file or use a generator), pick
+// a Cluster, and call Mine with the engine of your choice:
+//
+//	db, _ := yafim.LoadFile("retail", "retail.dat")
+//	trace, _ := yafim.Mine(db, 0.01, yafim.Options{})
+//	rules, _ := yafim.GenerateRules(trace.Result, 0.8, db.Len())
+//
+// All mining engines return exactly the same frequent itemsets for the same
+// input; they differ only in execution strategy and simulated cost.
+package yafim
+
+import (
+	"fmt"
+	"time"
+
+	"yafim/internal/apriori"
+	"yafim/internal/cluster"
+	"yafim/internal/datagen"
+	"yafim/internal/dataset"
+	"yafim/internal/eclat"
+	"yafim/internal/experiments"
+	"yafim/internal/fpgrowth"
+	"yafim/internal/itemset"
+	"yafim/internal/mrapriori"
+	"yafim/internal/rules"
+	"yafim/internal/yafim"
+)
+
+// Core data types, re-exported from the itemset package.
+type (
+	// Item identifies a single item.
+	Item = itemset.Item
+	// Itemset is a sorted, duplicate-free set of items.
+	Itemset = itemset.Itemset
+	// DB is an immutable transactional database.
+	DB = itemset.DB
+	// Stats summarises a database (Table I style).
+	Stats = itemset.Stats
+)
+
+// Mining result types, re-exported from the apriori package.
+type (
+	// Result holds every frequent itemset with exact support counts.
+	Result = apriori.Result
+	// SetCount pairs an itemset with its support count.
+	SetCount = apriori.SetCount
+	// Trace is a Result plus per-pass timing from a parallel engine.
+	Trace = apriori.Trace
+	// PassStat is the per-pass record inside a Trace.
+	PassStat = apriori.PassStat
+)
+
+// Rule is an association rule with support, confidence and lift.
+type Rule = rules.Rule
+
+// Cluster describes simulated hardware plus a runtime profile.
+type Cluster = cluster.Config
+
+// Cluster presets.
+var (
+	// ClusterSpark is the paper's 12-node testbed running the Spark-style
+	// runtime (resident executors, cheap stages).
+	ClusterSpark = cluster.PaperSpark
+	// ClusterHadoop is the same hardware running the Hadoop-1.x-style
+	// MapReduce runtime (per-job startup, per-task JVMs).
+	ClusterHadoop = cluster.PaperHadoop
+	// ClusterLocal is a small 2-node configuration for tests and demos.
+	ClusterLocal = cluster.Local
+)
+
+// NewItemset builds a canonical itemset from items.
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// NewDB builds a database from raw transactions.
+func NewDB(name string, rows [][]Item) *DB { return itemset.NewDB(name, rows) }
+
+// LoadFile reads a transaction database in .dat format (one transaction per
+// line, whitespace-separated non-negative item ids).
+func LoadFile(name, path string) (*DB, error) { return dataset.LoadFile(name, path) }
+
+// SaveFile writes a database to the local file system in .dat format.
+func SaveFile(db *DB, path string) error { return dataset.SaveFile(db, path) }
+
+// Engine selects a mining implementation.
+type Engine int
+
+const (
+	// EngineYAFIM is the paper's contribution: parallel Apriori on the
+	// Spark-substitute RDD engine with a cached transactions RDD and
+	// broadcast candidate hash trees.
+	EngineYAFIM Engine = iota
+	// EngineMapReduce is the comparator: k-phase Apriori where every pass
+	// is a full MapReduce job over the DFS.
+	EngineMapReduce
+	// EngineSequential is the single-core reference Apriori.
+	EngineSequential
+	// EngineEclat is the vertical-layout depth-first baseline.
+	EngineEclat
+	// EngineFPGrowth is the candidate-free FP-tree baseline.
+	EngineFPGrowth
+	// EngineSON is the one-phase SON algorithm on MapReduce: local mining
+	// per input split, then a single exact counting job.
+	EngineSON
+	// EngineDHP is sequential Apriori with Park et al.'s direct hashing and
+	// pruning of the second pass's candidates.
+	EngineDHP
+	// EnginePartition is the two-scan Partition algorithm of Savasere et
+	// al., the sequential ancestor of SON.
+	EnginePartition
+	// EngineToivonen is Toivonen's sampling algorithm with negative-border
+	// verification; exact, with a full-mine fallback on sampling misses.
+	EngineToivonen
+	// EngineDistEclat is Dist-Eclat on the RDD engine: broadcast vertical
+	// tidlists mined depth-first by prefix subtree across the cluster.
+	EngineDistEclat
+	// EngineAprioriTid is Agrawal & Srikant's AprioriTid: after pass one the
+	// raw data is never re-scanned; transactions carry candidate encodings.
+	EngineAprioriTid
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineYAFIM:
+		return "yafim"
+	case EngineMapReduce:
+		return "mapreduce"
+	case EngineSequential:
+		return "sequential"
+	case EngineEclat:
+		return "eclat"
+	case EngineFPGrowth:
+		return "fpgrowth"
+	case EngineSON:
+		return "son"
+	case EngineDHP:
+		return "dhp"
+	case EnginePartition:
+		return "partition"
+	case EngineToivonen:
+		return "toivonen"
+	case EngineDistEclat:
+		return "disteclat"
+	case EngineAprioriTid:
+		return "aprioritid"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine resolves an engine by its String name.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential,
+		EngineEclat, EngineFPGrowth, EngineSON, EngineDHP, EnginePartition,
+		EngineToivonen, EngineDistEclat, EngineAprioriTid} {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("yafim: unknown engine %q", name)
+}
+
+// Options configures Mine.
+type Options struct {
+	// Engine selects the implementation (default EngineYAFIM).
+	Engine Engine
+	// Cluster is the simulated cluster for the parallel engines (default
+	// the paper's 12-node testbed in the engine's matching runtime profile).
+	Cluster *Cluster
+	// MaxK stops after frequent itemsets of this size (0 = unbounded).
+	MaxK int
+	// Tasks is the parallel task-granularity hint (0 = 2x cluster cores).
+	Tasks int
+}
+
+// Mine finds all frequent itemsets of db at the given relative minimum
+// support with the selected engine. The sequential engines return a Trace
+// whose single pass covers the whole run and whose duration is the real
+// elapsed time; parallel engines report per-pass virtual cluster time.
+func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
+	switch opts.Engine {
+	case EngineYAFIM:
+		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
+		trace, _, err := experiments.RunYAFIM(db, minSupport, cfg, tasks(opts, cfg),
+			yafim.Config{MaxK: opts.MaxK})
+		return trace, err
+	case EngineMapReduce:
+		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
+		trace, _, err := experiments.RunMRApriori(db, minSupport, cfg, tasks(opts, cfg),
+			mrapriori.Config{MaxK: opts.MaxK})
+		return trace, err
+	case EngineSequential:
+		return timed(func() (*Result, error) {
+			return apriori.Mine(db, minSupport, apriori.Options{MaxK: opts.MaxK})
+		})
+	case EngineEclat:
+		return timed(func() (*Result, error) { return eclat.Mine(db, minSupport) })
+	case EngineFPGrowth:
+		return timed(func() (*Result, error) { return fpgrowth.Mine(db, minSupport) })
+	case EngineSON:
+		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
+		trace, _, err := experiments.RunSON(db, minSupport, cfg, tasks(opts, cfg))
+		return trace, err
+	case EngineDHP:
+		return timed(func() (*Result, error) { return apriori.MineDHP(db, minSupport, 0) })
+	case EnginePartition:
+		return timed(func() (*Result, error) { return apriori.MinePartition(db, minSupport, 0) })
+	case EngineToivonen:
+		return timed(func() (*Result, error) {
+			return apriori.MineToivonen(db, minSupport, apriori.ToivonenOptions{Seed: 1})
+		})
+	case EngineDistEclat:
+		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
+		trace, _, err := experiments.RunDistEclat(db, minSupport, cfg, tasks(opts, cfg))
+		return trace, err
+	case EngineAprioriTid:
+		return timed(func() (*Result, error) { return apriori.MineAprioriTid(db, minSupport) })
+	default:
+		return nil, fmt.Errorf("yafim: unknown engine %v", opts.Engine)
+	}
+}
+
+func clusterOrDefault(c *Cluster, def func() Cluster) Cluster {
+	if c != nil {
+		return *c
+	}
+	return def()
+}
+
+func tasks(opts Options, cfg Cluster) int {
+	if opts.Tasks > 0 {
+		return opts.Tasks
+	}
+	return 2 * cfg.TotalCores()
+}
+
+func timed(run func() (*Result, error)) (*Trace, error) {
+	start := time.Now()
+	res, err := run()
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{
+		Result: res,
+		Passes: []PassStat{{K: res.MaxK(), Frequent: res.NumFrequent(), Duration: time.Since(start)}},
+	}, nil
+}
+
+// GenerateRules derives association rules with at least minConfidence from
+// a mining result over numTransactions records.
+func GenerateRules(res *Result, minConfidence float64, numTransactions int) ([]Rule, error) {
+	return rules.Generate(res, minConfidence, numTransactions)
+}
+
+// Benchmark dataset generators (deterministic given their seed); scale
+// multiplies the transaction count (1.0 = the size reported in the paper's
+// Table I).
+var (
+	GenMushroom   = datagen.MushroomLike
+	GenChess      = datagen.ChessLike
+	GenPumsbStar  = datagen.PumsbStarLike
+	GenT10I4D100K = datagen.T10I4D100K
+	GenMedical    = datagen.MedicalCases
+	GenKosarak    = datagen.KosarakLike
+	GenRetail     = datagen.RetailLike
+)

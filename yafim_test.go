@@ -1,0 +1,143 @@
+package yafim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func exampleDB() *DB {
+	return NewDB("classic", [][]Item{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+}
+
+// TestAllEnginesAgree is the repository's headline integration test: every
+// engine — parallel YAFIM, parallel MapReduce, one-phase SON, sequential
+// Apriori with its DHP / Partition / Toivonen variants, Eclat and FP-Growth
+// — must produce byte-identical frequent itemsets.
+func TestAllEnginesAgree(t *testing.T) {
+	db := exampleDB()
+	local := ClusterLocal()
+	engines := []Engine{EngineYAFIM, EngineMapReduce, EngineSequential, EngineEclat,
+		EngineFPGrowth, EngineSON, EngineDHP, EnginePartition, EngineToivonen,
+		EngineDistEclat, EngineAprioriTid}
+	var first *Result
+	for _, e := range engines {
+		trace, err := Mine(db, 2.0/9.0, Options{Engine: e, Cluster: &local})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if first == nil {
+			first = trace.Result
+			if first.NumFrequent() != 13 {
+				t.Fatalf("%v found %d itemsets, want 13", e, first.NumFrequent())
+			}
+			continue
+		}
+		if !trace.Result.Equal(first) {
+			t.Errorf("%v disagrees with %v", e, engines[0])
+		}
+	}
+}
+
+func TestMineDefaultsToPaperCluster(t *testing.T) {
+	trace, err := Mine(exampleDB(), 2.0/9.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Result.MaxK() != 3 {
+		t.Fatalf("MaxK = %d", trace.Result.MaxK())
+	}
+	if trace.TotalDuration() <= 0 {
+		t.Fatal("no virtual time recorded")
+	}
+}
+
+func TestMineMaxK(t *testing.T) {
+	local := ClusterLocal()
+	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential} {
+		trace, err := Mine(exampleDB(), 2.0/9.0, Options{Engine: e, Cluster: &local, MaxK: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if trace.Result.MaxK() != 1 {
+			t.Errorf("%v: MaxK = %d", e, trace.Result.MaxK())
+		}
+	}
+}
+
+func TestMineUnknownEngine(t *testing.T) {
+	if _, err := Mine(exampleDB(), 0.5, Options{Engine: Engine(42)}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential, EngineEclat,
+		EngineFPGrowth, EngineSON, EngineDHP, EnginePartition, EngineToivonen,
+		EngineDistEclat, EngineAprioriTid} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("hive"); err == nil {
+		t.Error("unknown engine name parsed")
+	}
+}
+
+func TestGenerateRulesFacade(t *testing.T) {
+	trace, err := Mine(exampleDB(), 2.0/9.0, Options{Engine: EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := GenerateRules(trace.Result, 0.5, exampleDB().Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.dat")
+	if err := SaveFile(exampleDB(), path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile("classic", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != exampleDB().Len() {
+		t.Fatalf("round trip lost transactions: %d", back.Len())
+	}
+	if _, err := LoadFile("missing", filepath.Join(dir, "nope.dat")); err == nil {
+		t.Error("missing file loaded")
+	}
+	if err := SaveFile(exampleDB(), filepath.Join(dir, "no", "such", "dir.dat")); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+	_ = os.Remove(path)
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	gens := map[string]func(float64, int64) (*DB, error){
+		"mushroom": GenMushroom, "chess": GenChess, "pumsb": GenPumsbStar,
+		"t10": GenT10I4D100K, "medical": GenMedical,
+		"kosarak": GenKosarak, "retail": GenRetail,
+	}
+	for name, gen := range gens {
+		db, err := gen(0.01, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if db.Len() == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+	}
+}
