@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet check bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: everything must build, vet clean, and pass the full
+# suite under the race detector (the engines are genuinely concurrent).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

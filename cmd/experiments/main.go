@@ -8,6 +8,11 @@
 //	experiments -exp all              # everything, paper-scale datasets
 //	experiments -exp fig3 -dataset Chess
 //	experiments -exp fig5 -scale 0.2  # quicker, scaled-down datasets
+//	experiments -exp obs -dataset Chess -tracedir traces
+//
+// The obs experiment runs each benchmark once per parallel engine with a
+// telemetry recorder attached, prints the per-stage skew table and counter
+// totals, and (with -tracedir) writes a Chrome trace-event JSON file per run.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"yafim/internal/experiments"
+	"yafim/internal/obs"
 )
 
 func main() {
@@ -29,14 +35,15 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, or all")
-		ds      = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
-		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
-		seed    = flag.Int64("seed", 2014, "data generation seed")
-		maxRepl = flag.Int("maxrepl", 6, "fig4: largest replication factor")
-		tasks   = flag.Int("tasks", 0, "task-granularity hint (0 = 2x cluster cores)")
-		chart   = flag.Bool("chart", false, "also render each figure as an ASCII chart")
-		csvDir  = flag.String("csvdir", "", "also write each figure's series as CSV files here")
+		exp      = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, or all")
+		ds       = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
+		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		seed     = flag.Int64("seed", 2014, "data generation seed")
+		maxRepl  = flag.Int("maxrepl", 6, "fig4: largest replication factor")
+		tasks    = flag.Int("tasks", 0, "task-granularity hint (0 = 2x cluster cores)")
+		chart    = flag.Bool("chart", false, "also render each figure as an ASCII chart")
+		csvDir   = flag.String("csvdir", "", "also write each figure's series as CSV files here")
+		traceDir = flag.String("tracedir", "", "obs: write each instrumented run's Chrome trace JSON here")
 	)
 	flag.Parse()
 
@@ -240,6 +247,35 @@ func run() error {
 		return err
 	}
 
+	// obs is opt-in only (not part of "all"): it reruns benchmarks purely to
+	// collect telemetry, which would double the cost of a full sweep.
+	if *exp == "obs" {
+		fmt.Println("=== obs: instrumented runs ===")
+		for _, b := range benches {
+			runs, err := experiments.RunObserved(b, env)
+			if err != nil {
+				return err
+			}
+			for _, r := range runs {
+				fmt.Printf("--- %s / %s (virtual %v) ---\n",
+					r.Dataset, r.Engine, r.Trace.TotalDuration().Round(time.Millisecond))
+				if err := obs.WriteStageTable(os.Stdout, r.Recorder); err != nil {
+					return err
+				}
+				fmt.Println("counters:")
+				if err := obs.WriteCounters(os.Stdout, r.Recorder.Counters()); err != nil {
+					return err
+				}
+				if *traceDir != "" {
+					if err := writeTraceFile(*traceDir, r.Dataset+"_"+r.Engine+".trace.json", r.Recorder); err != nil {
+						return err
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+
 	if *exp == "check" {
 		fmt.Println("=== check: paper claims vs reproduction ===")
 		checks, err := experiments.RunShapeChecks(env)
@@ -254,4 +290,21 @@ func run() error {
 
 	fmt.Printf("done in %v (real time)\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// writeTraceFile writes one instrumented run's Chrome trace-event JSON into
+// dir, creating the directory if needed.
+func writeTraceFile(dir, name string, rec *obs.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

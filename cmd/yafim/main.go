@@ -4,18 +4,26 @@
 // Usage:
 //
 //	yafim -input retail.dat -support 0.01 [-engine yafim] [-rules 0.8]
+//	yafim -input retail.dat -trace out.json -stats
 //
 // The parallel engines (yafim, mapreduce) run on the paper's simulated
 // 12-node cluster and report per-pass virtual cluster time; the sequential
 // engines (sequential, eclat, fpgrowth) report real elapsed time.
+//
+// Observability flags (parallel engines): -trace writes a Chrome trace-event
+// JSON of the run's virtual timeline (load it in Perfetto or
+// chrome://tracing), -stats prints a Spark-Web-UI-style per-stage skew table
+// plus the counter totals, and -json emits a machine-readable run summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"text/tabwriter"
+	"time"
 
 	"yafim"
 )
@@ -38,6 +46,9 @@ func run() error {
 		ruleConf = flag.Float64("rules", 0, "if > 0, derive association rules at this confidence")
 		top      = flag.Int("top", 20, "itemsets/rules to print per section")
 		quiet    = flag.Bool("q", false, "print only summary lines")
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the virtual timeline to this file")
+		stats    = flag.Bool("stats", false, "print per-stage skew table and counter totals")
+		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -53,10 +64,15 @@ func run() error {
 		return err
 	}
 	st := db.ComputeStats()
-	fmt.Printf("%s: %d transactions, %d items, avg length %.1f\n",
-		*input, st.NumTransactions, st.NumItems, st.AvgLength)
+	if !*jsonOut {
+		fmt.Printf("%s: %d transactions, %d items, avg length %.1f\n",
+			*input, st.NumTransactions, st.NumItems, st.AvgLength)
+	}
 
 	opts := yafim.Options{Engine: eng, MaxK: *maxK}
+	if *traceOut != "" || *stats || *jsonOut {
+		opts.Recorder = yafim.NewRecorder()
+	}
 	if *nodes > 0 {
 		cfg := yafim.ClusterSpark()
 		if eng == yafim.EngineMapReduce {
@@ -70,9 +86,27 @@ func run() error {
 		return err
 	}
 
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Recorder); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return writeJSONSummary(os.Stdout, eng, *support, trace, opts.Recorder)
+	}
+
 	fmt.Printf("engine=%s support=%g%% frequent=%d maxk=%d time=%v\n",
 		eng, *support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
 		trace.TotalDuration().Round(1e6))
+	if *stats {
+		if err := yafim.WriteStageTable(os.Stdout, opts.Recorder); err != nil {
+			return err
+		}
+		fmt.Println("counters:")
+		if err := yafim.WriteCounters(os.Stdout, opts.Recorder.Counters()); err != nil {
+			return err
+		}
+	}
 	if !*quiet {
 		printPasses(trace)
 		switch *mode {
@@ -101,6 +135,71 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeTrace writes the recorded virtual timeline as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing.
+func writeTrace(path string, rec *yafim.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := yafim.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// jsonPass is one mining pass in the -json summary.
+type jsonPass struct {
+	K          int             `json:"k"`
+	Candidates int             `json:"candidates"`
+	Frequent   int             `json:"frequent"`
+	VirtualNS  int64           `json:"virtual_ns"`
+	Counters   *yafim.Counters `json:"counters,omitempty"`
+}
+
+// jsonSummary is the machine-readable run summary emitted by -json.
+type jsonSummary struct {
+	Engine   string          `json:"engine"`
+	Support  float64         `json:"support"`
+	Frequent int             `json:"frequent"`
+	MaxK     int             `json:"max_k"`
+	TotalNS  int64           `json:"total_virtual_ns"`
+	Total    string          `json:"total_virtual"`
+	Passes   []jsonPass      `json:"passes"`
+	Counters *yafim.Counters `json:"counters,omitempty"`
+}
+
+func writeJSONSummary(w *os.File, eng yafim.Engine, support float64,
+	trace *yafim.Trace, rec *yafim.Recorder) error {
+	s := jsonSummary{
+		Engine:   eng.String(),
+		Support:  support,
+		Frequent: trace.Result.NumFrequent(),
+		MaxK:     trace.Result.MaxK(),
+		TotalNS:  int64(trace.TotalDuration()),
+		Total:    trace.TotalDuration().Round(time.Microsecond).String(),
+	}
+	for _, p := range trace.Passes {
+		jp := jsonPass{
+			K: p.K, Candidates: p.Candidates, Frequent: p.Frequent,
+			VirtualNS: int64(p.Duration),
+		}
+		if !p.Counters.IsZero() {
+			c := p.Counters
+			jp.Counters = &c
+		}
+		s.Passes = append(s.Passes, jp)
+	}
+	if rec != nil {
+		c := rec.Counters()
+		s.Counters = &c
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 func printPasses(trace *yafim.Trace) {

@@ -1,16 +1,23 @@
 package apriori
 
-import "time"
+import (
+	"time"
+
+	"yafim/internal/obs"
+)
 
 // PassStat records one pass (one candidate length k) of a level-wise mining
 // run: candidate and frequent itemset counts plus the virtual time the
 // pass's jobs took. The per-pass duration series is what the paper plots in
-// Fig. 3 and Fig. 6.
+// Fig. 3 and Fig. 6. When the run carries a telemetry recorder, Counters
+// holds the pass's counter delta (cache hits, shuffle bytes, ...); it is
+// zero otherwise.
 type PassStat struct {
 	K          int
 	Candidates int
 	Frequent   int
 	Duration   time.Duration
+	Counters   obs.Counters
 }
 
 // Trace is the complete output of an instrumented mining run: the exact

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
 
@@ -28,7 +29,8 @@ type FileSystem struct {
 	blockSize   int64
 	replication int
 	files       map[string]*file
-	nextNode    int // round-robin placement cursor
+	nextNode    int           // round-robin placement cursor
+	rec         *obs.Recorder // counts I/O volume; nil-safe
 }
 
 type file struct {
@@ -80,6 +82,23 @@ func New(nodes int, opts ...Option) *FileSystem {
 	return fs
 }
 
+// SetRecorder attaches a telemetry recorder that counts the file system's
+// read and write volume (including replication). A nil recorder disables
+// counting.
+func (fs *FileSystem) SetRecorder(rec *obs.Recorder) {
+	fs.mu.Lock()
+	fs.rec = rec
+	fs.mu.Unlock()
+}
+
+// recorder fetches the attached recorder under the lock, so counting on the
+// read paths does not race with SetRecorder.
+func (fs *FileSystem) recorder() *obs.Recorder {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.rec
+}
+
 // Nodes returns the number of data nodes.
 func (fs *FileSystem) Nodes() int { return fs.nodes }
 
@@ -112,6 +131,7 @@ func (fs *FileSystem) WriteFile(path string, data []byte, led *sim.Ledger) error
 		led.AddDiskWrite(int64(len(data)) * int64(fs.replication))
 		led.AddNet(int64(len(data)) * int64(fs.replication-1))
 	}
+	fs.rec.AddDFSWrite(int64(len(data)) * int64(fs.replication))
 	return nil
 }
 
@@ -140,6 +160,7 @@ func (fs *FileSystem) ReadFile(path string, led *sim.Ledger) ([]byte, error) {
 	if led != nil {
 		led.AddDiskRead(f.size)
 	}
+	fs.recorder().AddDFSRead(f.size)
 	return out, nil
 }
 
@@ -183,6 +204,7 @@ func (fs *FileSystem) ReadRange(path string, off, length int64, led *sim.Ledger)
 	if led != nil {
 		led.AddDiskRead(int64(len(out)))
 	}
+	fs.recorder().AddDFSRead(int64(len(out)))
 	return out, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"yafim/internal/itemset"
 	"yafim/internal/mapreduce"
 	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
 	"yafim/internal/rdd"
 	"yafim/internal/yafim"
 )
@@ -97,6 +98,8 @@ func (e Env) tasks(cfg cluster.Config) int {
 
 // RunYAFIM stages db into a fresh DFS and mines it with YAFIM on the given
 // cluster, returning the trace and the driver context (for cost inspection).
+// Pass rdd.WithRecorder to capture telemetry; the recorder is also attached
+// to the DFS so input I/O is counted.
 func RunYAFIM(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	mineCfg yafim.Config, opts ...rdd.Option) (*apriori.Trace, *rdd.Context, error) {
 	fs := dfs.New(cfg.Nodes)
@@ -108,6 +111,7 @@ func RunYAFIM(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	if err != nil {
 		return nil, nil, err
 	}
+	fs.SetRecorder(ctx.Recorder())
 	mineCfg.MinSupport = support
 	if mineCfg.NumPartitions == 0 {
 		mineCfg.NumPartitions = tasks
@@ -120,17 +124,19 @@ func RunYAFIM(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 }
 
 // RunDistEclat stages db into a fresh DFS and mines it with Dist-Eclat on
-// the given cluster.
-func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int) (*apriori.Trace, *rdd.Context, error) {
+// the given cluster. Pass rdd.WithRecorder to capture telemetry.
+func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+	opts ...rdd.Option) (*apriori.Trace, *rdd.Context, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
 		return nil, nil, err
 	}
-	ctx, err := rdd.NewContext(cfg)
+	ctx, err := rdd.NewContext(cfg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
+	fs.SetRecorder(ctx.Recorder())
 	trace, err := disteclat.Mine(ctx, fs, path, disteclat.Config{
 		MinSupport:    support,
 		NumPartitions: tasks,
@@ -142,9 +148,10 @@ func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 }
 
 // RunMRApriori stages db into a fresh DFS and mines it with the MapReduce
-// implementation on the given cluster.
+// implementation on the given cluster. rec (may be nil) captures telemetry
+// from the runner and the DFS.
 func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
-	mineCfg mrapriori.Config) (*apriori.Trace, *mapreduce.Runner, error) {
+	mineCfg mrapriori.Config, rec *obs.Recorder) (*apriori.Trace, *mapreduce.Runner, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
@@ -154,6 +161,8 @@ func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 	if err != nil {
 		return nil, nil, err
 	}
+	runner.SetRecorder(rec)
+	fs.SetRecorder(rec)
 	mineCfg.MinSupport = support
 	if mineCfg.NumMapTasks == 0 {
 		mineCfg.NumMapTasks = tasks
@@ -195,7 +204,7 @@ func RunComparison(b Benchmark, env Env) (*Comparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: yafim: %w", b.Name, err)
 	}
-	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{})
+	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: mrapriori: %w", b.Name, err)
 	}
@@ -296,7 +305,7 @@ func RunSizeup(b Benchmark, env Env, replications []int) (*Sizeup, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}
-		mTrace, _, err := RunMRApriori(db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{})
+		mTrace, _, err := RunMRApriori(db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"yafim/internal/apriori"
+	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
+	"yafim/internal/yafim"
+)
+
+// ObservedRun is one engine's instrumented mining run over a benchmark: the
+// mining trace plus the telemetry recorder that captured its spans and
+// counters.
+type ObservedRun struct {
+	Dataset  string
+	Engine   string
+	Trace    *apriori.Trace
+	Recorder *obs.Recorder
+}
+
+// RunObserved mines the benchmark once with YAFIM and once with the
+// MapReduce comparator, each with a fresh telemetry recorder attached, and
+// verifies the two engines agree before returning both runs.
+func RunObserved(b Benchmark, env Env) ([]ObservedRun, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	yRec := obs.New()
+	yTrace, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+		yafim.Config{}, rdd.WithRecorder(yRec))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: observed %s: yafim: %w", b.Name, err)
+	}
+
+	mRec := obs.New()
+	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		mrapriori.Config{}, mRec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: observed %s: mapreduce: %w", b.Name, err)
+	}
+	if !yTrace.Result.Equal(mTrace.Result) {
+		return nil, fmt.Errorf("experiments: observed %s: engines disagree", b.Name)
+	}
+
+	return []ObservedRun{
+		{Dataset: b.Name, Engine: "yafim", Trace: yTrace, Recorder: yRec},
+		{Dataset: b.Name, Engine: "mapreduce", Trace: mTrace, Recorder: mRec},
+	}, nil
+}

@@ -13,6 +13,7 @@ import (
 	"yafim/internal/itemset"
 	"yafim/internal/mapreduce"
 	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
 	"yafim/internal/son"
 	"yafim/internal/yafim"
 )
@@ -78,7 +79,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 	// The MapReduce family on the Hadoop profile.
 	for _, v := range []mrapriori.Variant{mrapriori.SPC, mrapriori.FPC, mrapriori.DPC} {
 		trace, runner, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
-			mrapriori.Config{Variant: v})
+			mrapriori.Config{Variant: v}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: variants %s: %v: %w", b.Name, v, err)
 		}
@@ -101,7 +102,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 		})
 		return out, nil
 	}
-	sonTrace, sonRunner, err := RunSON(db, b.Support, env.Hadoop, env.tasks(env.Hadoop))
+	sonTrace, sonRunner, err := RunSON(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: variants %s: son: %w", b.Name, err)
 	}
@@ -112,8 +113,9 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 }
 
 // RunSON stages db into a fresh DFS and mines it with the one-phase SON
-// algorithm on the given cluster.
-func RunSON(db *itemset.DB, support float64, cfg cluster.Config, tasks int) (*apriori.Trace, *mapreduce.Runner, error) {
+// algorithm on the given cluster. rec (may be nil) captures telemetry.
+func RunSON(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+	rec *obs.Recorder) (*apriori.Trace, *mapreduce.Runner, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
@@ -123,6 +125,8 @@ func RunSON(db *itemset.DB, support float64, cfg cluster.Config, tasks int) (*ap
 	if err != nil {
 		return nil, nil, err
 	}
+	runner.SetRecorder(rec)
+	fs.SetRecorder(rec)
 	trace, err := son.Mine(runner, fs, path, "/work", son.Config{
 		MinSupport:  support,
 		NumMapTasks: tasks,

@@ -23,6 +23,7 @@ import (
 
 	"yafim/internal/cluster"
 	"yafim/internal/dfs"
+	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
 
@@ -81,11 +82,21 @@ type Runner struct {
 	fs          *dfs.FileSystem
 	cfg         cluster.Config
 	parallelism int
+	rec         *obs.Recorder // telemetry; nil disables recording
 
 	mu       sync.Mutex
 	reports  []sim.JobReport
 	failures map[failureKey]int
 }
+
+// SetRecorder attaches a telemetry recorder: every job, stage and task the
+// runner executes is recorded as a span on the virtual timeline, along with
+// shuffle-byte and retry counters. A nil recorder (the default) disables
+// telemetry. Attach before running jobs.
+func (r *Runner) SetRecorder(rec *obs.Recorder) { r.rec = rec }
+
+// Recorder returns the attached telemetry recorder (nil when disabled).
+func (r *Runner) Recorder() *obs.Recorder { return r.rec }
 
 type failureKey struct {
 	stage string // "map" or "reduce"
@@ -182,6 +193,7 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 	}
 	report := &sim.JobReport{Name: job.Name, Overhead: r.cfg.JobStartup}
 	counters := &Counters{}
+	r.rec.BeginJob("mapreduce", job.Name)
 
 	cache, cacheTime, err := r.loadCache(job.CacheFiles)
 	if err != nil {
@@ -209,6 +221,7 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 	r.mu.Lock()
 	r.reports = append(r.reports, *report)
 	r.mu.Unlock()
+	r.rec.EndJob(report.Overhead)
 	return report, counters, nil
 }
 
@@ -268,7 +281,7 @@ func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
 	costs := make([]sim.Cost, len(splits))
 	var mu sync.Mutex // guards counters
 
-	err := r.forEach(len(splits), func(t int) error {
+	attempts, err := r.forEach(len(splits), func(t int) error {
 		if r.shouldFail("map", t) {
 			return &TransientError{Stage: "map", Task: t}
 		}
@@ -358,7 +371,9 @@ func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
 	for i, cost := range costs {
 		placed[i] = sim.Placed{Cost: cost, Pref: splits[i].Locations}
 	}
-	return outputs, sim.RunStagePlaced(r.cfg, job.Name+":map", placed), nil
+	rep, placements := sim.RunStageScheduled(r.cfg, job.Name+":map", placed)
+	r.recordStage(rep, placed, placements, attempts)
+	return outputs, rep, nil
 }
 
 func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
@@ -366,7 +381,7 @@ func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
 	costs := make([]sim.Cost, job.NumReducers)
 	var mu sync.Mutex
 
-	err := r.forEach(job.NumReducers, func(p int) error {
+	attempts, err := r.forEach(job.NumReducers, func(p int) error {
 		if r.shouldFail("reduce", p) {
 			return &TransientError{Stage: "reduce", Task: p}
 		}
@@ -377,15 +392,17 @@ func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
 		}
 		// Shuffle fetch: this reducer's bucket from every map task.
 		merged := make(map[string][]string)
-		var fetched int64
+		var fetched, fetchedBytes int64
 		for _, out := range outputs {
 			led.AddDiskRead(out.bytes[p])
 			led.AddNet(out.bytes[p])
+			fetchedBytes += out.bytes[p]
 			for k, vs := range out.buckets[p] {
 				merged[k] = append(merged[k], vs...)
 				fetched += int64(len(vs))
 			}
 		}
+		r.rec.AddShuffleBytes(fetchedBytes)
 		// Merge sort of fetched runs.
 		led.AddCPU(nLogN(fetched))
 		keys := make([]string, 0, len(merged))
@@ -423,12 +440,55 @@ func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
 	if err != nil {
 		return sim.StageReport{}, err
 	}
-	return sim.RunStage(r.cfg, job.Name+":reduce", costs), nil
+	placed := make([]sim.Placed, len(costs))
+	for i, cost := range costs {
+		placed[i] = sim.Placed{Cost: cost}
+	}
+	rep, placements := sim.RunStageScheduled(r.cfg, job.Name+":reduce", placed)
+	r.recordStage(rep, placed, placements, attempts)
+	return rep, nil
+}
+
+// recordStage converts one executed stage's schedule into telemetry: a stage
+// span with per-task spans plus retry and locality-placement counters.
+func (r *Runner) recordStage(rep sim.StageReport, placed []sim.Placed,
+	placements []sim.TaskPlacement, attempts []int) {
+	if r.rec == nil {
+		return
+	}
+	costs := make([]sim.Cost, len(placed))
+	for i := range placed {
+		costs[i] = placed[i].Cost
+	}
+	r.rec.AddStage(obs.SpanFromSchedule(rep, r.cfg.StageOverhead, placements, costs, attempts))
+	var retries, local, remote int64
+	for i := range placements {
+		if attempts[i] > 1 {
+			retries += int64(attempts[i] - 1)
+		}
+		if len(placed[i].Pref) > 0 {
+			if placements[i].Remote {
+				remote++
+			} else {
+				local++
+			}
+		}
+	}
+	if retries > 0 {
+		// Injected MapReduce failures abort at task start, so the wasted
+		// virtual cost of a failed attempt is effectively zero.
+		r.rec.AddRetries(retries, sim.Cost{})
+	}
+	if local > 0 || remote > 0 {
+		r.rec.AddLocality(local, remote)
+	}
 }
 
 // forEach runs fn(0..n-1) on the worker pool, retrying each task up to the
-// Hadoop attempt limit, and joins the terminal errors.
-func (r *Runner) forEach(n int, fn func(i int) error) error {
+// Hadoop attempt limit. It returns the attempt count each task needed and
+// the joined terminal errors.
+func (r *Runner) forEach(n int, fn func(i int) error) ([]int, error) {
+	attempts := make([]int, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, r.parallelism)
 	var wg sync.WaitGroup
@@ -440,6 +500,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 			defer func() { <-sem }()
 			var lastErr error
 			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+				attempts[i] = attempt
 				if lastErr = fn(i); lastErr == nil {
 					return
 				}
@@ -449,7 +510,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return attempts, errors.Join(errs...)
 }
 
 func nLogN(n int64) float64 {

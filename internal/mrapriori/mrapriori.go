@@ -98,6 +98,9 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	// record counter, exactly as one-pass Hadoop implementations do.
 	out1 := workDir + "/L1"
 	mapreduce.CleanOutput(fs, out1)
+	rec := runner.Recorder()
+	rec.SetPass(1)
+	passMark := rec.Counters()
 	rep, counters, err := runner.Run(mapreduce.Job{
 		Name:        "apriori-pass1",
 		Input:       []string{inputPath},
@@ -136,6 +139,7 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	trace := &apriori.Trace{Result: res}
 	trace.Passes = append(trace.Passes, apriori.PassStat{
 		K: 1, Candidates: int(n), Frequent: len(l1), Duration: rep.Duration(),
+		Counters: rec.Counters().Sub(passMark),
 	})
 	if len(l1) == 0 {
 		return trace, nil
@@ -153,19 +157,23 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 		if len(batch) == 0 {
 			break
 		}
+		rec.SetPass(k)
+		passMark = rec.Counters()
 		levels, rep, err := runCountJob(runner, fs, inputPath, workDir, k, batch, minCount, reducers, cfg.NumMapTasks)
 		if err != nil {
 			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
 		}
 
-		// Attribute the job's full duration to the first level of the batch;
-		// levels sharing the job report zero incremental time.
+		// Attribute the job's full duration (and counter activity) to the
+		// first level of the batch; levels sharing the job report zero
+		// incremental time.
 		stop := false
 		for i, cands := range batch {
 			lk := levels[i]
 			stat := apriori.PassStat{K: k + i, Candidates: len(cands), Frequent: len(lk)}
 			if i == 0 {
 				stat.Duration = rep.Duration()
+				stat.Counters = rec.Counters().Sub(passMark)
 			}
 			trace.Passes = append(trace.Passes, stat)
 			if len(lk) == 0 {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export. The output follows the Trace Event Format's
+// "JSON object" flavour ({"traceEvents": [...]}) using complete events
+// ("ph":"X"), which chrome://tracing and Perfetto load directly.
+//
+// Layout: one trace "process" per simulated worker node (plus process 0 for
+// the driver), one "thread" per core within a node. The driver process shows
+// the job and stage spans on two lanes; each node process shows its tasks.
+// Timestamps are virtual microseconds from the start of the run; because the
+// sim schedule is deterministic, identical runs export identical bytes.
+
+const (
+	driverPid   = 0 // trace process id for the driver lanes
+	jobLaneTid  = 0 // driver thread for job spans
+	stageLane   = 1 // driver thread for stage spans
+	nodePidBase = 1 // node n maps to trace process n + nodePidBase
+)
+
+// traceEvent is one Trace Event Format record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace exports every recorded job as Chrome trace-event JSON.
+// The virtual timeline is reconstructed by walking jobs in execution order:
+// each job occupies [t, t+duration), pays its overhead first, then runs its
+// stages back to back; tasks sit inside their stage at the offsets the
+// scheduler assigned.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	jobs := r.Jobs()
+	var events []traceEvent
+
+	maxNode := -1
+	var t time.Duration
+	for _, job := range jobs {
+		jobStart := t
+		events = append(events, traceEvent{
+			Name: job.Name, Cat: "job", Ph: "X",
+			Ts: micros(jobStart), Dur: micros(job.Duration()),
+			Pid: driverPid, Tid: jobLaneTid,
+			Args: map[string]any{"engine": job.Engine, "pass": job.Pass},
+		})
+		t += job.Overhead
+		for _, st := range job.Stages {
+			events = append(events, traceEvent{
+				Name: st.Name, Cat: "stage", Ph: "X",
+				Ts: micros(t), Dur: micros(st.Makespan),
+				Pid: driverPid, Tid: stageLane,
+				Args: map[string]any{
+					"engine": job.Engine, "pass": job.Pass,
+					"tasks": len(st.Tasks), "total_cost": st.Total.String(),
+				},
+			})
+			body := t + st.Overhead
+			for _, task := range st.Tasks {
+				if task.Node > maxNode {
+					maxNode = task.Node
+				}
+				args := map[string]any{
+					"stage": st.Name, "pass": job.Pass,
+					"cpu_ops":    task.Cost.CPUOps,
+					"disk_read":  task.Cost.DiskRead,
+					"disk_write": task.Cost.DiskWrite,
+					"net":        task.Cost.Net,
+				}
+				if task.Attempts > 1 {
+					args["attempts"] = task.Attempts
+				}
+				if task.Remote {
+					args["remote_read"] = true
+				}
+				events = append(events, traceEvent{
+					Name: fmt.Sprintf("%s[%d]", st.Name, task.Index), Cat: "task", Ph: "X",
+					Ts: micros(body + task.Start), Dur: micros(task.Duration()),
+					Pid: task.Node + nodePidBase, Tid: task.Core,
+					Args: args,
+				})
+			}
+			t += st.Makespan
+		}
+	}
+
+	// Metadata names the driver and node processes so Perfetto groups lanes
+	// meaningfully. Emitted after scanning so the node count is known.
+	meta := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: driverPid, Tid: 0,
+			Args: map[string]any{"name": "driver"}},
+		{Name: "thread_name", Ph: "M", Pid: driverPid, Tid: jobLaneTid,
+			Args: map[string]any{"name": "jobs"}},
+		{Name: "thread_name", Ph: "M", Pid: driverPid, Tid: stageLane,
+			Args: map[string]any{"name": "stages"}},
+	}
+	for n := 0; n <= maxNode; n++ {
+		meta = append(meta, traceEvent{Name: "process_name", Ph: "M",
+			Pid: n + nodePidBase, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("node-%d", n)}})
+	}
+	events = append(meta, events...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

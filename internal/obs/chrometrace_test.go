@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceFile mirrors the Trace Event Format JSON-object flavour for decoding
+// in tests.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+
+	var jobs, stages, tasks int
+	processes := map[int]string{} // pid -> metadata name
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			processes[e.Pid] = e.Args["name"].(string)
+		case e.Ph == "X" && e.Cat == "job":
+			jobs++
+			if e.Pid != 0 || e.Tid != 0 {
+				t.Fatalf("job event off the driver job lane: %+v", e)
+			}
+		case e.Ph == "X" && e.Cat == "stage":
+			stages++
+			if e.Pid != 0 || e.Tid != 1 {
+				t.Fatalf("stage event off the driver stage lane: %+v", e)
+			}
+		case e.Ph == "X" && e.Cat == "task":
+			tasks++
+			if e.Pid < 1 {
+				t.Fatalf("task event on the driver process: %+v", e)
+			}
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("task event with negative time: %+v", e)
+			}
+		}
+	}
+	// sampleRecorder: 2 jobs, 3 stages, 3 tasks on nodes 0, 1 and 2.
+	if jobs != 2 || stages != 3 || tasks != 3 {
+		t.Fatalf("events: %d jobs, %d stages, %d tasks", jobs, stages, tasks)
+	}
+	if processes[0] != "driver" {
+		t.Fatalf("driver process not named: %v", processes)
+	}
+	for _, node := range []int{0, 1, 2} {
+		if name := processes[node+1]; name == "" {
+			t.Fatalf("node %d has no process metadata: %v", node, processes)
+		}
+	}
+
+	// The retried remote task must carry its attempt count and remote marker.
+	found := false
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "task" && e.Args["attempts"] == float64(2) {
+			found = true
+			if e.Args["remote_read"] != true {
+				t.Fatalf("remote task lacks remote_read arg: %+v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("retried task's attempts arg missing from trace")
+	}
+}
+
+// TestChromeTraceDeterministic checks the export promise: the same recorded
+// run serialises to byte-identical output.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recorders exported different trace bytes")
+	}
+}
+
+func TestChromeTraceEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, New()); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	// Only the driver metadata lanes, no span events.
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" {
+			t.Fatalf("empty recorder produced span event %+v", e)
+		}
+	}
+}

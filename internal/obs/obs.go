@@ -1,0 +1,370 @@
+// Package obs is the engine-wide telemetry subsystem: a Recorder that both
+// execution engines (the RDD engine and the MapReduce engine) emit into
+// while they run.
+//
+// A Recorder collects two kinds of data:
+//
+//   - Spans — every job, stage and individual task, with its position on the
+//     *virtual* timeline derived from the sim makespan schedule. Because the
+//     schedule is deterministic, two identical runs produce byte-identical
+//     traces.
+//   - Counters — runtime totals the performance analysis needs: cache
+//     hits/misses/evictions, lineage recomputations, broadcast versus naive
+//     shipping bytes, shuffle bytes, DFS I/O bytes, task retries with their
+//     wasted cost, and locality-preference outcomes.
+//
+// A nil *Recorder is valid everywhere and records nothing: every method is
+// nil-safe, so the engines carry a recorder pointer unconditionally and the
+// un-instrumented path stays allocation-free.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"yafim/internal/sim"
+)
+
+// Counters is a snapshot of every runtime counter. The zero value is a valid
+// empty snapshot; Sub produces per-interval deltas (e.g. per mining pass).
+type Counters struct {
+	// RDD cache behaviour (§IV-B: "held in the memory as much as possible").
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEvictions    int64 `json:"cache_evictions"`
+	LineageRecomputes int64 `json:"lineage_recomputes"`
+
+	// Data distribution (§IV-C: broadcast variables vs naive shipping).
+	BroadcastBytes int64 `json:"broadcast_bytes"`
+	NaiveShipBytes int64 `json:"naive_ship_bytes"`
+
+	// Data movement.
+	ShuffleBytes  int64 `json:"shuffle_bytes"`
+	DFSReadBytes  int64 `json:"dfs_read_bytes"`
+	DFSWriteBytes int64 `json:"dfs_write_bytes"`
+
+	// Fault tolerance: failed task attempts and the virtual work they wasted.
+	TaskRetries int64    `json:"task_retries"`
+	WastedCost  sim.Cost `json:"wasted_cost"`
+
+	// Locality-aware scheduling: tasks with a preference that ran on a
+	// preferred node versus tasks that had to read their input remotely.
+	LocalityLocal  int64 `json:"locality_local"`
+	LocalityRemote int64 `json:"locality_remote"`
+}
+
+// Sub returns the component-wise difference c - d, used to attribute counter
+// activity to an interval bracketed by two snapshots.
+func (c Counters) Sub(d Counters) Counters {
+	return Counters{
+		CacheHits:         c.CacheHits - d.CacheHits,
+		CacheMisses:       c.CacheMisses - d.CacheMisses,
+		CacheEvictions:    c.CacheEvictions - d.CacheEvictions,
+		LineageRecomputes: c.LineageRecomputes - d.LineageRecomputes,
+		BroadcastBytes:    c.BroadcastBytes - d.BroadcastBytes,
+		NaiveShipBytes:    c.NaiveShipBytes - d.NaiveShipBytes,
+		ShuffleBytes:      c.ShuffleBytes - d.ShuffleBytes,
+		DFSReadBytes:      c.DFSReadBytes - d.DFSReadBytes,
+		DFSWriteBytes:     c.DFSWriteBytes - d.DFSWriteBytes,
+		TaskRetries:       c.TaskRetries - d.TaskRetries,
+		WastedCost:        c.WastedCost.Sub(d.WastedCost),
+		LocalityLocal:     c.LocalityLocal - d.LocalityLocal,
+		LocalityRemote:    c.LocalityRemote - d.LocalityRemote,
+	}
+}
+
+// IsZero reports whether no counter recorded any activity.
+func (c Counters) IsZero() bool { return c == (Counters{}) }
+
+// TaskSpan is one executed task inside a stage: where the deterministic
+// scheduler placed it and when it ran, relative to the start of the stage
+// body (i.e. after the stage's fixed scheduling overhead).
+type TaskSpan struct {
+	Index    int           `json:"index"`    // task index within the stage
+	Node     int           `json:"node"`     // simulated node the task ran on
+	Core     int           `json:"core"`     // core within that node
+	Start    time.Duration `json:"start"`    // offset from stage-body start
+	End      time.Duration `json:"end"`      // offset from stage-body start
+	Attempts int           `json:"attempts"` // 1 = first attempt succeeded
+	Remote   bool          `json:"remote"`   // input read over the network
+	Cost     sim.Cost      `json:"cost"`     // metered resource demand
+}
+
+// Duration returns the task's virtual service time.
+func (t TaskSpan) Duration() time.Duration { return t.End - t.Start }
+
+// StageSpan is one executed stage with its task schedule.
+type StageSpan struct {
+	Name     string        `json:"name"`
+	Overhead time.Duration `json:"overhead"` // fixed scheduling cost
+	Makespan time.Duration `json:"makespan"` // overhead + schedule length
+	Total    sim.Cost      `json:"total"`    // summed task cost
+	Tasks    []TaskSpan    `json:"tasks"`
+}
+
+// SpanFromSchedule converts one scheduled stage — the report plus the
+// per-task placements the deterministic scheduler produced — into a
+// StageSpan. costs and attempts are indexed like the stage's tasks; missing
+// entries default to a zero cost and a single attempt.
+func SpanFromSchedule(rep sim.StageReport, overhead time.Duration,
+	placements []sim.TaskPlacement, costs []sim.Cost, attempts []int) StageSpan {
+	span := StageSpan{
+		Name:     rep.Name,
+		Overhead: overhead,
+		Makespan: rep.Makespan,
+		Total:    rep.Total,
+		Tasks:    make([]TaskSpan, len(placements)),
+	}
+	for i, pl := range placements {
+		t := TaskSpan{
+			Index: pl.Task, Node: pl.Node, Core: pl.Core,
+			Start: pl.Start, End: pl.End, Attempts: 1, Remote: pl.Remote,
+		}
+		if i < len(costs) {
+			t.Cost = costs[i]
+		}
+		if i < len(attempts) && attempts[i] > 0 {
+			t.Attempts = attempts[i]
+		}
+		span.Tasks[i] = t
+	}
+	return span
+}
+
+// JobSpan is one executed job: an RDD action or one MapReduce job.
+type JobSpan struct {
+	Engine   string        `json:"engine"` // "rdd" or "mapreduce"
+	Name     string        `json:"name"`
+	Pass     int           `json:"pass"`     // mining pass k (0 = outside any pass)
+	Overhead time.Duration `json:"overhead"` // startup time before the first stage
+	Stages   []StageSpan   `json:"stages"`
+}
+
+// Duration returns the job's total virtual time, matching sim.JobReport:
+// overhead plus the sum of sequential stage makespans.
+func (j *JobSpan) Duration() time.Duration {
+	d := j.Overhead
+	for _, s := range j.Stages {
+		d += s.Makespan
+	}
+	return d
+}
+
+// Recorder accumulates spans and counters from one run. It is safe for
+// concurrent use: tasks on worker goroutines increment counters while the
+// driver opens and closes jobs. All methods are nil-safe; a nil *Recorder
+// is the disabled, zero-overhead configuration.
+type Recorder struct {
+	mu       sync.Mutex
+	counters Counters
+	jobs     []JobSpan
+	cur      *JobSpan
+	pass     int
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether telemetry is being recorded.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetPass tags subsequently recorded jobs with mining pass k, attributing
+// them to one level of the candidate lattice.
+func (r *Recorder) SetPass(k int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.pass = k
+	r.mu.Unlock()
+}
+
+// BeginJob opens a job span. Drivers run jobs sequentially, so at most one
+// job is open per recorder at a time; an unterminated previous job is closed
+// implicitly.
+func (r *Recorder) BeginJob(engine, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur != nil {
+		r.jobs = append(r.jobs, *r.cur)
+	}
+	r.cur = &JobSpan{Engine: engine, Name: name, Pass: r.pass}
+}
+
+// AddStage appends a completed stage to the open job. A stage recorded
+// outside any job is attached to a synthetic job of the same name.
+func (r *Recorder) AddStage(s StageSpan) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		r.cur = &JobSpan{Engine: "unknown", Name: s.Name, Pass: r.pass}
+	}
+	r.cur.Stages = append(r.cur.Stages, s)
+}
+
+// EndJob closes the open job span, recording its final startup/driver
+// overhead (known only at job end, e.g. naive-shipping uplink time).
+func (r *Recorder) EndJob(overhead time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return
+	}
+	r.cur.Overhead = overhead
+	r.jobs = append(r.jobs, *r.cur)
+	r.cur = nil
+}
+
+// Jobs returns a copy of every completed job span, in execution order.
+func (r *Recorder) Jobs() []JobSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobSpan, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// Counters returns a snapshot of the counter totals.
+func (r *Recorder) Counters() Counters {
+	if r == nil {
+		return Counters{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// Counter mutators. Each is nil-safe and cheap enough for task hot paths.
+
+// AddCacheHit records one cached-partition reuse.
+func (r *Recorder) AddCacheHit() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.CacheHits++
+	r.mu.Unlock()
+}
+
+// AddCacheMiss records one lookup of a cache-enabled partition that was not
+// resident.
+func (r *Recorder) AddCacheMiss() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.CacheMisses++
+	r.mu.Unlock()
+}
+
+// AddEvictions records n partitions dropped from executor memory (LRU
+// pressure, node loss, or explicit cache drops).
+func (r *Recorder) AddEvictions(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.CacheEvictions += n
+	r.mu.Unlock()
+}
+
+// AddRecomputes records n partition computations that repeated work already
+// done earlier in the run — the cost of a missing or evicted cache entry.
+func (r *Recorder) AddRecomputes(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.LineageRecomputes += n
+	r.mu.Unlock()
+}
+
+// AddBroadcastBytes records payload distributed via broadcast variables.
+func (r *Recorder) AddBroadcastBytes(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.BroadcastBytes += n
+	r.mu.Unlock()
+}
+
+// AddNaiveShipBytes records payload shipped per-task through the driver
+// under the naive (no-broadcast) configuration.
+func (r *Recorder) AddNaiveShipBytes(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.NaiveShipBytes += n
+	r.mu.Unlock()
+}
+
+// AddShuffleBytes records bytes fetched across the network by reduce-side
+// shuffle reads.
+func (r *Recorder) AddShuffleBytes(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.ShuffleBytes += n
+	r.mu.Unlock()
+}
+
+// AddDFSRead records bytes served by the distributed file system.
+func (r *Recorder) AddDFSRead(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.DFSReadBytes += n
+	r.mu.Unlock()
+}
+
+// AddDFSWrite records bytes ingested by the distributed file system,
+// including replication.
+func (r *Recorder) AddDFSWrite(n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.DFSWriteBytes += n
+	r.mu.Unlock()
+}
+
+// AddRetries records n failed task attempts and the virtual cost their
+// discarded work burned.
+func (r *Recorder) AddRetries(n int64, wasted sim.Cost) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.TaskRetries += n
+	r.counters.WastedCost = r.counters.WastedCost.Add(wasted)
+	r.mu.Unlock()
+}
+
+// AddLocality records the placement outcome of tasks that carried a
+// locality preference: local ran on a preferred node, remote paid a network
+// read instead.
+func (r *Recorder) AddLocality(local, remote int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.LocalityLocal += local
+	r.counters.LocalityRemote += remote
+	r.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// stragglerFactor flags a stage as skewed when its slowest task ran longer
+// than this multiple of the mean task time — the usual first question a
+// Spark Web UI stage table answers.
+const stragglerFactor = 2.0
+
+// StageStats summarises one stage's task-time distribution.
+type StageStats struct {
+	Job       string
+	Engine    string
+	Pass      int
+	Stage     string
+	Tasks     int
+	Retries   int // failed attempts across the stage's tasks
+	Makespan  time.Duration
+	MinTask   time.Duration
+	MaxTask   time.Duration
+	MeanTask  time.Duration
+	Straggler bool // MaxTask > stragglerFactor * MeanTask
+}
+
+// StageTable flattens the recorded jobs into per-stage skew statistics, in
+// execution order.
+func StageTable(r *Recorder) []StageStats {
+	var out []StageStats
+	for _, job := range r.Jobs() {
+		for _, st := range job.Stages {
+			row := StageStats{
+				Job: job.Name, Engine: job.Engine, Pass: job.Pass,
+				Stage: st.Name, Tasks: len(st.Tasks), Makespan: st.Makespan,
+			}
+			var sum time.Duration
+			for i, task := range st.Tasks {
+				d := task.Duration()
+				sum += d
+				if i == 0 || d < row.MinTask {
+					row.MinTask = d
+				}
+				if d > row.MaxTask {
+					row.MaxTask = d
+				}
+				if task.Attempts > 1 {
+					row.Retries += task.Attempts - 1
+				}
+			}
+			if len(st.Tasks) > 0 {
+				row.MeanTask = sum / time.Duration(len(st.Tasks))
+				row.Straggler = float64(row.MaxTask) > stragglerFactor*float64(row.MeanTask)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// WriteStageTable renders the Spark-Web-UI-style stage table: one row per
+// executed stage with task count, makespan, and the min/mean/max task-time
+// spread, flagging straggler-skewed stages.
+func WriteStageTable(w io.Writer, r *Recorder) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tpass\tstage\ttasks\tretries\tmakespan\tmin\tmean\tmax\tskew")
+	for _, row := range StageTable(r) {
+		skew := ""
+		if row.Straggler {
+			skew = "STRAGGLER"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%v\t%v\t%v\t%v\t%s\n",
+			row.Job, row.Pass, row.Stage, row.Tasks, row.Retries,
+			row.Makespan.Round(time.Microsecond),
+			row.MinTask.Round(time.Microsecond),
+			row.MeanTask.Round(time.Microsecond),
+			row.MaxTask.Round(time.Microsecond),
+			skew)
+	}
+	return tw.Flush()
+}
+
+// WriteCounters renders the counter snapshot as an aligned key/value table.
+func WriteCounters(w io.Writer, c Counters) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	rows := []struct {
+		name  string
+		value any
+	}{
+		{"cache_hits", c.CacheHits},
+		{"cache_misses", c.CacheMisses},
+		{"cache_evictions", c.CacheEvictions},
+		{"lineage_recomputes", c.LineageRecomputes},
+		{"broadcast_bytes", c.BroadcastBytes},
+		{"naive_ship_bytes", c.NaiveShipBytes},
+		{"shuffle_bytes", c.ShuffleBytes},
+		{"dfs_read_bytes", c.DFSReadBytes},
+		{"dfs_write_bytes", c.DFSWriteBytes},
+		{"task_retries", c.TaskRetries},
+		{"wasted_cost", c.WastedCost},
+		{"locality_local", c.LocalityLocal},
+		{"locality_remote", c.LocalityRemote},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\n", r.name, r.value)
+	}
+	return tw.Flush()
+}

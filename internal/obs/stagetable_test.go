@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageTableStats(t *testing.T) {
+	r := New()
+	r.SetPass(2)
+	r.BeginJob("rdd", "collect(L2)")
+	r.AddStage(StageSpan{
+		Name:     "skewed",
+		Makespan: 10 * time.Millisecond,
+		Tasks: []TaskSpan{
+			{End: 1 * time.Millisecond, Attempts: 1},
+			{End: 2 * time.Millisecond, Attempts: 3},
+			{End: 9 * time.Millisecond, Attempts: 1}, // 9ms > 2 * 4ms mean
+		},
+	})
+	r.AddStage(StageSpan{
+		Name:     "even",
+		Makespan: 4 * time.Millisecond,
+		Tasks: []TaskSpan{
+			{End: 3 * time.Millisecond, Attempts: 1},
+			{End: 4 * time.Millisecond, Attempts: 1},
+		},
+	})
+	r.EndJob(0)
+
+	rows := StageTable(r)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	skewed := rows[0]
+	if skewed.Job != "collect(L2)" || skewed.Pass != 2 || skewed.Stage != "skewed" {
+		t.Fatalf("row = %+v", skewed)
+	}
+	if skewed.MinTask != time.Millisecond || skewed.MaxTask != 9*time.Millisecond ||
+		skewed.MeanTask != 4*time.Millisecond {
+		t.Fatalf("task spread = min %v mean %v max %v",
+			skewed.MinTask, skewed.MeanTask, skewed.MaxTask)
+	}
+	if skewed.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", skewed.Retries)
+	}
+	if !skewed.Straggler {
+		t.Fatal("9ms max over 4ms mean not flagged as straggler")
+	}
+	if rows[1].Straggler {
+		t.Fatalf("even stage flagged as straggler: %+v", rows[1])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "STRAGGLER"); got != 1 {
+		t.Fatalf("rendered table flags %d stragglers, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestWriteStageTableAndCounters(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"job", "stage", "makespan", "collect(L1)", "countC2:map"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stage table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteCounters(&buf, r.Counters()); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{
+		"cache_hits", "lineage_recomputes", "broadcast_bytes", "shuffle_bytes",
+		"task_retries", "wasted_cost", "locality_local",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("counter table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func NewBroadcast[T any](ctx *Context, v T, bytes int64) *Broadcast[T] {
 	b := &Broadcast[T]{ctx: ctx, value: v, bytes: bytes}
 	if !ctx.naiveShipping {
 		ctx.addPendingOverhead(broadcastTime(ctx.cfg, bytes))
+		ctx.rec.AddBroadcastBytes(bytes)
 	}
 	return b
 }
@@ -53,6 +54,7 @@ func (b *Broadcast[T]) Acquire(led *sim.Ledger) T {
 			led.AddNet(b.bytes)
 		}
 		b.ctx.addShipBytes(b.bytes)
+		b.ctx.rec.AddNaiveShipBytes(b.bytes)
 	}
 	return b.value
 }

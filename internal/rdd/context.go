@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"yafim/internal/cluster"
+	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
 
@@ -41,6 +42,13 @@ type Context struct {
 	jobShipBytes    int64 // naive-mode bytes serialized through the driver
 
 	cacheMgr *cacheManager // per-node executor memory accounting
+
+	// rec receives telemetry spans and counters; nil disables recording.
+	// computed tracks which (rdd, partition) pairs have been materialised
+	// before, so repeated computations surface as lineage recomputes; it is
+	// only maintained while a recorder is attached.
+	rec      *obs.Recorder
+	computed map[failureKey]bool
 }
 
 type failureKey struct {
@@ -73,6 +81,14 @@ func WithoutBroadcast() Option {
 	return func(c *Context) { c.naiveShipping = true }
 }
 
+// WithRecorder attaches a telemetry recorder: every job, stage and task the
+// context runs is recorded as a span on the virtual timeline, and the
+// engine's cache, broadcast, shuffle and retry activity is counted. A nil
+// recorder (the default) disables telemetry at zero overhead.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(c *Context) { c.rec = rec }
+}
+
 // WithExecutorMemory caps the cache memory available per node (the paper's
 // testbed has 24 GB per node). Cached partitions beyond the budget evict
 // the least recently used residents of their node; evicted partitions are
@@ -103,6 +119,30 @@ func NewContext(cfg cluster.Config, opts ...Option) (*Context, error) {
 
 // Config returns the simulated cluster configuration.
 func (c *Context) Config() cluster.Config { return c.cfg }
+
+// Recorder returns the attached telemetry recorder (nil when disabled).
+func (c *Context) Recorder() *obs.Recorder { return c.rec }
+
+// noteCompute marks one partition computation and reports whether it
+// repeats work already done earlier in the run — a lineage recomputation
+// caused by a missing, never-enabled or evicted cache entry. Tracking only
+// runs with a recorder attached.
+func (c *Context) noteCompute(rddID, part int) {
+	if c.rec == nil {
+		return
+	}
+	k := failureKey{rddID, part}
+	c.mu.Lock()
+	if c.computed == nil {
+		c.computed = make(map[failureKey]bool)
+	}
+	again := c.computed[k]
+	c.computed[k] = true
+	c.mu.Unlock()
+	if again {
+		c.rec.AddRecomputes(1)
+	}
+}
 
 // Reports returns the job reports of every action run so far, in order.
 func (c *Context) Reports() []sim.JobReport {
@@ -217,6 +257,7 @@ func (c *Context) beginJob(name string) {
 		overhead += c.cfg.JobStartup
 	}
 	c.current = &sim.JobReport{Name: name, Overhead: overhead}
+	c.rec.BeginJob("rdd", name)
 }
 
 func (c *Context) endJob() sim.JobReport {
@@ -230,6 +271,7 @@ func (c *Context) endJob() sim.JobReport {
 	rep := *c.current
 	c.current = nil
 	c.reports = append(c.reports, rep)
+	c.rec.EndJob(rep.Overhead)
 	return rep
 }
 
@@ -257,6 +299,8 @@ func (c *Context) addStage(rep sim.StageReport) {
 // locality-aware scheduling.
 func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p int, led *sim.Ledger) error) error {
 	costs := make([]sim.Cost, numTasks)
+	wasted := make([]sim.Cost, numTasks) // cost burned by failed attempts
+	attempts := make([]int, numTasks)
 	errs := make([]error, numTasks)
 
 	sem := make(chan struct{}, c.parallelism)
@@ -271,10 +315,15 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
 				led := &sim.Ledger{}
 				lastErr = work(p, led)
+				attempts[p] = attempt
 				if lastErr == nil {
 					costs[p] = led.Total()
 					return
 				}
+				// A failed attempt still occupied its core: its partial work
+				// is charged to the task so injected failures are visible in
+				// virtual time, and surfaced as wasted cost.
+				wasted[p] = wasted[p].Add(led.Total())
 			}
 			errs[p] = fmt.Errorf("rdd: stage %q task %d failed after %d attempts: %w",
 				name, p, maxTaskAttempts, lastErr)
@@ -287,11 +336,52 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 	}
 	placed := make([]sim.Placed, numTasks)
 	for i, cost := range costs {
-		placed[i] = sim.Placed{Cost: cost}
+		// Retried tasks run their attempts back to back on one core, so the
+		// scheduled cost is the successful attempt plus everything wasted.
+		placed[i] = sim.Placed{Cost: cost.Add(wasted[i])}
 		if i < len(prefs) {
 			placed[i].Pref = prefs[i]
 		}
 	}
-	c.addStage(sim.RunStagePlaced(c.cfg, name, placed))
+	rep, placements := sim.RunStageScheduled(c.cfg, name, placed)
+	c.addStage(rep)
+	c.recordStage(rep, placed, placements, wasted, attempts)
 	return nil
+}
+
+// recordStage converts one executed stage's schedule into telemetry: a
+// stage span with per-task spans, retry/wasted-cost counters and
+// locality-placement counters.
+func (c *Context) recordStage(rep sim.StageReport, placed []sim.Placed,
+	placements []sim.TaskPlacement, wasted []sim.Cost, attempts []int) {
+	if c.rec == nil {
+		return
+	}
+	costs := make([]sim.Cost, len(placed))
+	for i := range placed {
+		costs[i] = placed[i].Cost
+	}
+	span := obs.SpanFromSchedule(rep, c.cfg.StageOverhead, placements, costs, attempts)
+	var retries, local, remote int64
+	var totalWasted sim.Cost
+	for i := range placements {
+		if attempts[i] > 1 {
+			retries += int64(attempts[i] - 1)
+			totalWasted = totalWasted.Add(wasted[i])
+		}
+		if len(placed[i].Pref) > 0 {
+			if placements[i].Remote {
+				remote++
+			} else {
+				local++
+			}
+		}
+	}
+	c.rec.AddStage(span)
+	if retries > 0 {
+		c.rec.AddRetries(retries, totalWasted)
+	}
+	if local > 0 || remote > 0 {
+		c.rec.AddLocality(local, remote)
+	}
 }

@@ -159,12 +159,15 @@ func Repartition[T any](r *RDD[T], name string, parts int) *RDD[T] {
 			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage", name)
 		}
 		var outRows []T
+		var fetched int64
 		for p := 0; p < r.parts; p++ {
 			outRows = append(outRows, st.rows[p*parts+t]...)
 			led.AddNet(st.bytes[p][t])
 			led.AddDiskRead(st.bytes[p][t])
+			fetched += st.bytes[p][t]
 		}
 		led.AddCPU(float64(len(outRows)))
+		r.ctx.rec.AddShuffleBytes(fetched)
 		return outRows, nil
 	}
 	return out

@@ -135,9 +135,11 @@ func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
 			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
 		}
 		merged := make(map[K]V)
+		var fetched int64
 		for m := range st.buckets {
 			led.AddNet(st.bytes[m][p])
 			led.AddDiskRead(st.bytes[m][p])
+			fetched += st.bytes[m][p]
 			for k, v := range st.buckets[m][p] {
 				if old, ok := merged[k]; ok {
 					merged[k] = combine(old, v)
@@ -153,6 +155,7 @@ func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 		led.AddCPU(float64(len(out)))
+		r.ctx.rec.AddShuffleBytes(fetched)
 		return out, nil
 	}
 	return out

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
 
@@ -41,6 +42,7 @@ type preparable interface {
 // manager accounts per-node memory.
 type cacheState[T any] struct {
 	mgr   *cacheManager
+	rec   *obs.Recorder // counts evictions; nil-safe
 	mu    sync.Mutex
 	parts []*[]T // nil entry: not cached
 }
@@ -78,6 +80,7 @@ func (cs *cacheState[T]) evictPart(p int) {
 	cs.mu.Lock()
 	cs.parts[p] = nil
 	cs.mu.Unlock()
+	cs.rec.AddEvictions(1)
 }
 
 // evictNode and evictAll drop partitions under cs.mu but release manager
@@ -96,6 +99,7 @@ func (cs *cacheState[T]) evictNode(node, nodes int) {
 	for _, p := range dropped {
 		cs.mgr.release(cs, p)
 	}
+	cs.rec.AddEvictions(int64(len(dropped)))
 }
 
 func (cs *cacheState[T]) evictAll() {
@@ -111,6 +115,7 @@ func (cs *cacheState[T]) evictAll() {
 	for _, p := range dropped {
 		cs.mgr.release(cs, p)
 	}
+	cs.rec.AddEvictions(int64(len(dropped)))
 }
 
 func newRDD[T any](ctx *Context, name string, parts int, deps []preparable,
@@ -145,7 +150,7 @@ func (r *RDD[T]) PreferredNodes(p int) []int {
 // re-reads. It returns r for chaining.
 func (r *RDD[T]) Cache() *RDD[T] {
 	if r.cache == nil {
-		r.cache = &cacheState[T]{mgr: r.ctx.cacheMgr, parts: make([]*[]T, r.parts)}
+		r.cache = &cacheState[T]{mgr: r.ctx.cacheMgr, rec: r.ctx.rec, parts: make([]*[]T, r.parts)}
 		r.ctx.registerCache(r.cache)
 	}
 	return r
@@ -162,13 +167,16 @@ func (r *RDD[T]) materialize(p int, led *sim.Ledger) ([]T, error) {
 	}
 	if r.cache != nil {
 		if rows, ok := r.cache.get(p); ok {
+			r.ctx.rec.AddCacheHit()
 			return rows, nil
 		}
+		r.ctx.rec.AddCacheMiss()
 	}
 	rows, err := r.compute(p, led)
 	if err != nil {
 		return nil, err
 	}
+	r.ctx.noteCompute(r.id, p)
 	if r.cache != nil {
 		r.cache.put(p, rows)
 	}

@@ -21,10 +21,10 @@ import (
 // of compute (engines count, e.g., one op per item touched or candidate
 // checked); the byte fields are metered I/O volumes.
 type Cost struct {
-	CPUOps    float64 // abstract compute operations
-	DiskRead  int64   // bytes read from node-local or distributed disk
-	DiskWrite int64   // bytes written to node-local or distributed disk
-	Net       int64   // bytes transferred over the cluster network
+	CPUOps    float64 `json:"cpu_ops"`    // abstract compute operations
+	DiskRead  int64   `json:"disk_read"`  // bytes read from node-local or distributed disk
+	DiskWrite int64   `json:"disk_write"` // bytes written to node-local or distributed disk
+	Net       int64   `json:"net"`        // bytes transferred over the cluster network
 }
 
 // Add returns the component-wise sum of c and d.
@@ -37,14 +37,46 @@ func (c Cost) Add(d Cost) Cost {
 	}
 }
 
+// Sub returns the component-wise difference c - d, used to delta two
+// counter or cost snapshots.
+func (c Cost) Sub(d Cost) Cost {
+	return Cost{
+		CPUOps:    c.CPUOps - d.CPUOps,
+		DiskRead:  c.DiskRead - d.DiskRead,
+		DiskWrite: c.DiskWrite - d.DiskWrite,
+		Net:       c.Net - d.Net,
+	}
+}
+
 // IsZero reports whether the cost records no resource use at all.
 func (c Cost) IsZero() bool {
 	return c.CPUOps == 0 && c.DiskRead == 0 && c.DiskWrite == 0 && c.Net == 0
 }
 
-// String renders the cost compactly for logs and reports.
+// String renders the cost compactly for logs and reports, with byte fields
+// in human units.
 func (c Cost) String() string {
-	return fmt.Sprintf("cpu=%.0f dr=%dB dw=%dB net=%dB", c.CPUOps, c.DiskRead, c.DiskWrite, c.Net)
+	return fmt.Sprintf("cpu=%.0f dr=%s dw=%s net=%s",
+		c.CPUOps, HumanBytes(c.DiskRead), HumanBytes(c.DiskWrite), HumanBytes(c.Net))
+}
+
+// HumanBytes renders a byte count in the largest fitting binary unit with
+// one decimal (1536 -> "1.5KB"), keeping exact byte counts below 1 KB.
+func HumanBytes(n int64) string {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case abs < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case abs < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	}
 }
 
 // Ledger accumulates the cost of a single task. Worker goroutines each own

@@ -15,18 +15,36 @@ type Placed struct {
 	Pref []int
 }
 
-// MakespanPlaced schedules tasks with locality preferences, modelling the
+// TaskPlacement describes where and when the deterministic schedule ran one
+// task: the node and (node-local) core it was assigned, its start and end
+// offsets relative to the start of the stage body (i.e. after the fixed
+// per-stage scheduling overhead), and whether it read its input remotely.
+// This is the per-task detail the telemetry layer turns into trace spans.
+type TaskPlacement struct {
+	Task   int // index into the stage's task list
+	Node   int
+	Core   int // core within Node
+	Start  time.Duration
+	End    time.Duration
+	Remote bool
+}
+
+// PlaceTasks schedules tasks with locality preferences and returns the full
+// schedule — one placement per task, indexed like tasks — plus the schedule
+// length (excluding the per-stage overhead). It implements the
 // delay-scheduling policy of both Hadoop and Spark (spark.locality.wait):
 // a task runs on a preferred node unless that would delay it beyond the
 // configured locality wait relative to the best core anywhere; when it does
 // run remotely, its input bytes travel over the network instead of the
-// local disk, and the task pays for both.
-func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
+// local disk, and the task pays for both. Tasks are placed longest first
+// (LPT) with all ties broken on the lowest index, so the schedule is
+// deterministic.
+func PlaceTasks(cfg cluster.Config, tasks []Placed) ([]TaskPlacement, time.Duration) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	if len(tasks) == 0 {
-		return cfg.StageOverhead
+		return nil, 0
 	}
 	durs := make([]time.Duration, len(tasks))
 	for i, t := range tasks {
@@ -38,6 +56,7 @@ func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return durs[order[a]] > durs[order[b]] })
 
+	placements := make([]TaskPlacement, len(tasks))
 	cores := make([]time.Duration, cfg.TotalCores())
 	nodeOf := func(core int) int { return core / cfg.CoresPerNode }
 	for _, ti := range order {
@@ -71,6 +90,14 @@ func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
 		if remote {
 			d += remoteReadPenalty(cfg, tasks[ti].Cost)
 		}
+		placements[ti] = TaskPlacement{
+			Task:   ti,
+			Node:   nodeOf(chosen),
+			Core:   chosen % cfg.CoresPerNode,
+			Start:  cores[chosen],
+			End:    cores[chosen] + d,
+			Remote: remote,
+		}
 		cores[chosen] += d
 	}
 	var makespan time.Duration
@@ -79,6 +106,14 @@ func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
 			makespan = load
 		}
 	}
+	return placements, makespan
+}
+
+// MakespanPlaced schedules tasks with locality preferences (see PlaceTasks)
+// and returns the resulting stage completion time, including the per-stage
+// scheduling overhead.
+func MakespanPlaced(cfg cluster.Config, tasks []Placed) time.Duration {
+	_, makespan := PlaceTasks(cfg, tasks)
 	return cfg.StageOverhead + makespan
 }
 
@@ -109,14 +144,24 @@ func contains(xs []int, v int) bool {
 // RunStagePlaced builds a StageReport for a stage whose tasks carry
 // locality preferences.
 func RunStagePlaced(cfg cluster.Config, name string, tasks []Placed) StageReport {
+	rep, _ := RunStageScheduled(cfg, name, tasks)
+	return rep
+}
+
+// RunStageScheduled builds a StageReport for a stage whose tasks carry
+// locality preferences and additionally returns the full deterministic
+// schedule — the per-task placements and run intervals the telemetry layer
+// records as task spans.
+func RunStageScheduled(cfg cluster.Config, name string, tasks []Placed) (StageReport, []TaskPlacement) {
 	var total Cost
 	for _, t := range tasks {
 		total = total.Add(t.Cost)
 	}
+	placements, makespan := PlaceTasks(cfg, tasks)
 	return StageReport{
 		Name:     name,
 		Tasks:    len(tasks),
 		Total:    total,
-		Makespan: MakespanPlaced(cfg, tasks),
-	}
+		Makespan: cfg.StageOverhead + makespan,
+	}, placements
 }

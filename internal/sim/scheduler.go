@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sort"
 	"time"
 
 	"yafim/internal/cluster"
@@ -26,43 +25,21 @@ func TaskTime(cfg cluster.Config, c Cost) time.Duration {
 // using the classic LPT (longest processing time first) greedy rule and
 // returns the resulting stage completion time, including the per-stage
 // scheduling overhead. The schedule is deterministic: ties in both task
-// ordering and core selection break on the lowest index.
+// ordering and core selection break on the lowest index. Tasks without
+// locality preferences schedule identically under PlaceTasks, which is the
+// single scheduling implementation.
 func Makespan(cfg cluster.Config, tasks []Cost) time.Duration {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	if len(tasks) == 0 {
-		return cfg.StageOverhead
-	}
-	durs := make([]time.Duration, len(tasks))
-	for i, c := range tasks {
-		durs[i] = TaskTime(cfg, c)
-	}
-	order := make([]int, len(tasks))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return durs[order[a]] > durs[order[b]] })
-
-	cores := make([]time.Duration, cfg.TotalCores())
-	for _, ti := range order {
-		// Find the least-loaded core; with at most a few hundred cores a
-		// linear scan beats heap bookkeeping and stays obviously correct.
-		best := 0
-		for ci := 1; ci < len(cores); ci++ {
-			if cores[ci] < cores[best] {
-				best = ci
-			}
-		}
-		cores[best] += durs[ti]
-	}
-	var makespan time.Duration
-	for _, load := range cores {
-		if load > makespan {
-			makespan = load
-		}
-	}
+	_, makespan := PlaceTasks(cfg, asPlaced(tasks))
 	return cfg.StageOverhead + makespan
+}
+
+// asPlaced wraps plain task costs as preference-free placed tasks.
+func asPlaced(tasks []Cost) []Placed {
+	placed := make([]Placed, len(tasks))
+	for i, c := range tasks {
+		placed[i] = Placed{Cost: c}
+	}
+	return placed
 }
 
 // RunStage builds a StageReport for a named stage from per-task costs.

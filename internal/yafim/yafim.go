@@ -80,7 +80,10 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		trans.Cache()
 	}
 
+	rec := ctx.Recorder()
+	rec.SetPass(1)
 	passStart := markJobs(ctx)
+	passMark := rec.Counters()
 	n, err := rdd.Count(trans)
 	if err != nil {
 		return nil, fmt.Errorf("yafim: counting transactions: %w", err)
@@ -111,6 +114,7 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 	}
 	out.Passes = append(out.Passes, apriori.PassStat{
 		K: 1, Candidates: int(n), Frequent: len(l1), Duration: jobsSince(ctx, passStart),
+		Counters: rec.Counters().Sub(passMark),
 	})
 	if len(l1) == 0 {
 		return out, nil
@@ -120,7 +124,9 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 	// Phase II — iterate L_k -> C_{k+1} -> L_{k+1}.
 	prev := sets(l1)
 	for k := 2; cfg.MaxK == 0 || k <= cfg.MaxK; k++ {
+		rec.SetPass(k)
 		passStart = markJobs(ctx)
+		passMark = rec.Counters()
 		cands, err := apriori.Gen(prev)
 		if err != nil {
 			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)
@@ -134,6 +140,7 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		}
 		out.Passes = append(out.Passes, apriori.PassStat{
 			K: k, Candidates: len(cands), Frequent: len(lk), Duration: jobsSince(ctx, passStart),
+			Counters: rec.Counters().Sub(passMark),
 		})
 		if len(lk) == 0 {
 			break

@@ -31,6 +31,8 @@ import (
 	"yafim/internal/fpgrowth"
 	"yafim/internal/itemset"
 	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
 	"yafim/internal/rules"
 	"yafim/internal/yafim"
 )
@@ -61,6 +63,31 @@ type (
 
 // Rule is an association rule with support, confidence and lift.
 type Rule = rules.Rule
+
+// Telemetry types, re-exported from the obs package.
+type (
+	// Recorder collects spans and counters from an instrumented run; attach
+	// one via Options.Recorder. A nil recorder disables telemetry.
+	Recorder = obs.Recorder
+	// Counters is a snapshot of an instrumented run's runtime counters.
+	Counters = obs.Counters
+	// StageStats summarises one stage's task-time distribution.
+	StageStats = obs.StageStats
+)
+
+// NewRecorder creates an empty telemetry recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WriteChromeTrace writes a recorded run as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing: one process per simulated node, one thread
+// per core, every job/stage/task as a complete event on the virtual timeline.
+var WriteChromeTrace = obs.WriteChromeTrace
+
+// WriteStageTable renders the Spark-Web-UI-style per-stage skew table.
+var WriteStageTable = obs.WriteStageTable
+
+// WriteCounters renders a counter snapshot as an aligned key/value table.
+var WriteCounters = obs.WriteCounters
 
 // Cluster describes simulated hardware plus a runtime profile.
 type Cluster = cluster.Config
@@ -179,6 +206,10 @@ type Options struct {
 	MaxK int
 	// Tasks is the parallel task-granularity hint (0 = 2x cluster cores).
 	Tasks int
+	// Recorder, when non-nil, captures telemetry (spans on the virtual
+	// timeline plus runtime counters) from the parallel engines. Sequential
+	// engines ignore it.
+	Recorder *Recorder
 }
 
 // Mine finds all frequent itemsets of db at the given relative minimum
@@ -190,12 +221,12 @@ func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
 	case EngineYAFIM:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
 		trace, _, err := experiments.RunYAFIM(db, minSupport, cfg, tasks(opts, cfg),
-			yafim.Config{MaxK: opts.MaxK})
+			yafim.Config{MaxK: opts.MaxK}, rddOptions(opts)...)
 		return trace, err
 	case EngineMapReduce:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
 		trace, _, err := experiments.RunMRApriori(db, minSupport, cfg, tasks(opts, cfg),
-			mrapriori.Config{MaxK: opts.MaxK})
+			mrapriori.Config{MaxK: opts.MaxK}, opts.Recorder)
 		return trace, err
 	case EngineSequential:
 		return timed(func() (*Result, error) {
@@ -207,7 +238,7 @@ func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
 		return timed(func() (*Result, error) { return fpgrowth.Mine(db, minSupport) })
 	case EngineSON:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
-		trace, _, err := experiments.RunSON(db, minSupport, cfg, tasks(opts, cfg))
+		trace, _, err := experiments.RunSON(db, minSupport, cfg, tasks(opts, cfg), opts.Recorder)
 		return trace, err
 	case EngineDHP:
 		return timed(func() (*Result, error) { return apriori.MineDHP(db, minSupport, 0) })
@@ -219,13 +250,22 @@ func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
 		})
 	case EngineDistEclat:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
-		trace, _, err := experiments.RunDistEclat(db, minSupport, cfg, tasks(opts, cfg))
+		trace, _, err := experiments.RunDistEclat(db, minSupport, cfg, tasks(opts, cfg),
+			rddOptions(opts)...)
 		return trace, err
 	case EngineAprioriTid:
 		return timed(func() (*Result, error) { return apriori.MineAprioriTid(db, minSupport) })
 	default:
 		return nil, fmt.Errorf("yafim: unknown engine %v", opts.Engine)
 	}
+}
+
+// rddOptions translates facade options into RDD engine options.
+func rddOptions(opts Options) []rdd.Option {
+	if opts.Recorder == nil {
+		return nil
+	}
+	return []rdd.Option{rdd.WithRecorder(opts.Recorder)}
 }
 
 func clusterOrDefault(c *Cluster, def func() Cluster) Cluster {
