@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench clean
+.PHONY: build test race vet check chaos bench clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ race:
 # check is the CI gate: everything must build, vet clean, and pass the full
 # suite under the race detector (the engines are genuinely concurrent).
 check: build vet race
+
+# chaos runs the fault-injection invariant suite under the race detector:
+# every Chaos* test plus the FuzzChaosInvariant seed corpora, which assert
+# that seeded faults never change results and that recovery is deterministic.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/sim/ ./internal/dfs/
+	$(GO) test -race -run 'Chaos' ./internal/rdd/ ./internal/mapreduce/ \
+		./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

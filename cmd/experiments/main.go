@@ -35,15 +35,17 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, or all")
-		ds       = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
-		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
-		seed     = flag.Int64("seed", 2014, "data generation seed")
-		maxRepl  = flag.Int("maxrepl", 6, "fig4: largest replication factor")
-		tasks    = flag.Int("tasks", 0, "task-granularity hint (0 = 2x cluster cores)")
-		chart    = flag.Bool("chart", false, "also render each figure as an ASCII chart")
-		csvDir   = flag.String("csvdir", "", "also write each figure's series as CSV files here")
-		traceDir = flag.String("tracedir", "", "obs: write each instrumented run's Chrome trace JSON here")
+		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, chaos, or all")
+		ds        = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
+		scale     = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
+		seed      = flag.Int64("seed", 2014, "data generation seed")
+		maxRepl   = flag.Int("maxrepl", 6, "fig4: largest replication factor")
+		tasks     = flag.Int("tasks", 0, "task-granularity hint (0 = 2x cluster cores)")
+		chart     = flag.Bool("chart", false, "also render each figure as an ASCII chart")
+		csvDir    = flag.String("csvdir", "", "also write each figure's series as CSV files here")
+		traceDir  = flag.String("tracedir", "", "obs: write each instrumented run's Chrome trace JSON here")
+		chaosSeed = flag.Int64("chaosseed", 7, "chaos: fault-plan seed (identical seeds reproduce identical runs)")
+		crashFrac = flag.Float64("crashfrac", 0.4, "chaos: crash a node at this fraction of the fault-free run (0 = no crash)")
 	)
 	flag.Parse()
 
@@ -272,6 +274,22 @@ func run() error {
 					}
 				}
 			}
+			fmt.Println()
+		}
+	}
+
+	// chaos is opt-in only (not part of "all"): it runs every benchmark four
+	// times (fault-free and chaotic, per engine) to measure recovery cost.
+	if *exp == "chaos" {
+		fmt.Println("=== chaos: seeded faults + mitigation ===")
+		params := experiments.DefaultChaosParams(*chaosSeed)
+		params.CrashFrac = *crashFrac
+		for _, b := range benches {
+			c, err := experiments.RunChaos(b, env, params)
+			if err != nil {
+				return err
+			}
+			experiments.WriteChaos(os.Stdout, c)
 			fmt.Println()
 		}
 	}

@@ -48,6 +48,7 @@ func run() error {
 		quiet    = flag.Bool("q", false, "print only summary lines")
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the virtual timeline to this file")
 		stats    = flag.Bool("stats", false, "print per-stage skew table and counter totals")
+		chaosS   = flag.Int64("chaos", 0, "if != 0, inject the seeded chaos fault plan into parallel engines")
 		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
 	)
 	flag.Parse()
@@ -72,6 +73,9 @@ func run() error {
 	opts := yafim.Options{Engine: eng, MaxK: *maxK}
 	if *traceOut != "" || *stats || *jsonOut {
 		opts.Recorder = yafim.NewRecorder()
+	}
+	if *chaosS != 0 {
+		opts.Chaos = yafim.DefaultChaosPlan(*chaosS)
 	}
 	if *nodes > 0 {
 		cfg := yafim.ClusterSpark()

@@ -1,0 +1,253 @@
+// Package chaos provides the deterministic, seed-driven fault model the
+// execution engines consult while they run: transient task failures, whole
+// node crashes at a chosen virtual time, straggler slowdowns, shuffle-fetch
+// losses and DFS block-read failures — plus the mitigation configuration
+// (speculative execution, node blacklisting with exponential backoff, DFS
+// re-replication) and the per-node failure bookkeeping behind blacklisting.
+//
+// Every fault decision is a pure function of the plan seed and the decision's
+// identity (stage name, task index, attempt number, ...), never of goroutine
+// scheduling or call order. Two runs with the same seed therefore inject
+// exactly the same faults in exactly the same places, which is what keeps
+// mined itemsets, makespans and traces byte-identical across runs — the
+// property the chaos invariant suite asserts.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Straggler marks one node as running every task at a service-time
+// multiplier, the way an overloaded or degraded machine would.
+type Straggler struct {
+	Node   int
+	Factor float64 // >= 1; 4 means tasks on this node take 4x as long
+}
+
+// NodeCrash schedules the permanent loss of one worker node at a virtual
+// time: its cached RDD partitions, in-flight map outputs and DFS replicas
+// are gone; the engines must recover via lineage, task re-execution and
+// re-replication.
+type NodeCrash struct {
+	Node int
+	At   time.Duration // virtual time into the run
+}
+
+// Plan is a complete fault schedule for one run. The zero value (and a nil
+// *Plan) injects nothing; every decision method is nil-safe.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// TaskFailProb is the per-attempt probability that a task attempt fails
+	// transiently after doing its work (a lost heartbeat, a crashed executor
+	// thread). The engines never consult it on a task's final permitted
+	// attempt, so injected failures cannot fail a job.
+	TaskFailProb float64
+	// FetchFailProb is the per-(stage, reduce partition) probability that a
+	// shuffle fetch fails because one map task's output is unavailable,
+	// forcing parent re-execution.
+	FetchFailProb float64
+	// BlockReadFailProb is the per-(path, offset) probability that a DFS
+	// block read fails on its first replica and is retried from another
+	// replica over the network.
+	BlockReadFailProb float64
+	// Stragglers lists nodes running at a cost multiplier.
+	Stragglers []Straggler
+	// Crash, when non-nil, kills one node mid-run.
+	Crash *NodeCrash
+}
+
+// Validate reports a descriptive error if the plan is unusable.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"TaskFailProb", p.TaskFailProb},
+		{"FetchFailProb", p.FetchFailProb},
+		{"BlockReadFailProb", p.BlockReadFailProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("chaos: %s %g out of [0,1]", pr.name, pr.v)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Node < 0 {
+			return fmt.Errorf("chaos: straggler node %d negative", s.Node)
+		}
+		if s.Factor < 1 {
+			return fmt.Errorf("chaos: straggler factor %g on node %d must be >= 1", s.Factor, s.Node)
+		}
+	}
+	if p.Crash != nil {
+		if p.Crash.Node < 0 {
+			return fmt.Errorf("chaos: crash node %d negative", p.Crash.Node)
+		}
+		if p.Crash.At < 0 {
+			return fmt.Errorf("chaos: crash time %v negative", p.Crash.At)
+		}
+	}
+	return nil
+}
+
+// DefaultPlan returns a moderate all-faults-enabled plan suitable for CLI
+// smoke runs: 5% transient task failures, 2% fetch failures, 1% block-read
+// retries and one 4x straggler node. It schedules no crash — crashes need a
+// virtual time chosen against the run's expected duration.
+func DefaultPlan(seed int64) *Plan {
+	return &Plan{
+		Seed:              seed,
+		TaskFailProb:      0.05,
+		FetchFailProb:     0.02,
+		BlockReadFailProb: 0.01,
+		Stragglers:        []Straggler{{Node: 1, Factor: 4}},
+	}
+}
+
+// hash01 maps the decision identity to a deterministic uniform value in
+// [0, 1). FNV-1a is stable across platforms and Go versions.
+func (p *Plan) hash01(domain string, keys ...int64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.Seed))
+	h.Write(buf[:])
+	h.Write([]byte(domain))
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], uint64(k))
+		h.Write(buf[:])
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// hashN maps the decision identity to a deterministic value in [0, n).
+func (p *Plan) hashN(n int, domain string, keys ...int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.hash01(domain, keys...) * float64(n))
+}
+
+// TaskFails reports whether the given attempt of the given task fails
+// transiently. Engines must not consult it on a task's last permitted
+// attempt, so injection can never exhaust the retry budget.
+func (p *Plan) TaskFails(stage string, task, attempt int) bool {
+	if p == nil || p.TaskFailProb <= 0 {
+		return false
+	}
+	return p.hash01("task:"+stage, int64(task), int64(attempt)) < p.TaskFailProb
+}
+
+// FailureNode attributes a failed attempt to the node it ran on, for the
+// per-node failure counting behind blacklisting. The attribution is part of
+// the fault model (the schedule that placed the attempt is computed after
+// all attempts finish), so it is drawn deterministically from the plan.
+func (p *Plan) FailureNode(stage string, task, attempt, nodes int) int {
+	if p == nil {
+		return 0
+	}
+	return p.hashN(nodes, "failnode:"+stage, int64(task), int64(attempt))
+}
+
+// FetchFails reports whether the shuffle fetch feeding the given reduce
+// partition of the given stage loses one map task's output.
+func (p *Plan) FetchFails(stage string, part int) bool {
+	if p == nil || p.FetchFailProb <= 0 {
+		return false
+	}
+	return p.hash01("fetch:"+stage, int64(part)) < p.FetchFailProb
+}
+
+// FetchVictim picks which of the stage's maps map outputs the failed fetch
+// lost.
+func (p *Plan) FetchVictim(stage string, part, maps int) int {
+	if p == nil {
+		return 0
+	}
+	return p.hashN(maps, "fetchvictim:"+stage, int64(part))
+}
+
+// ReadFails reports whether a DFS read of path at the given offset fails on
+// its first replica, forcing a retry from another replica.
+func (p *Plan) ReadFails(path string, off int64) bool {
+	if p == nil || p.BlockReadFailProb <= 0 {
+		return false
+	}
+	return p.hash01("read:"+path, off) < p.BlockReadFailProb
+}
+
+// NodeFactors expands the straggler list into a per-node service-time
+// multiplier table for a cluster of the given size, or nil when no straggler
+// lands inside the cluster.
+func (p *Plan) NodeFactors(nodes int) []float64 {
+	if p == nil || len(p.Stragglers) == 0 {
+		return nil
+	}
+	var out []float64
+	for _, s := range p.Stragglers {
+		if s.Node >= nodes || s.Factor <= 1 {
+			continue
+		}
+		if out == nil {
+			out = make([]float64, nodes)
+			for i := range out {
+				out[i] = 1
+			}
+		}
+		out[s.Node] = s.Factor
+	}
+	return out
+}
+
+// InjectedError is the failure the engines surface for a plan-injected task
+// failure; tests use the type to distinguish injected from genuine errors.
+type InjectedError struct {
+	Stage   string
+	Task    int
+	Attempt int
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected failure in stage %q task %d attempt %d",
+		e.Stage, e.Task, e.Attempt)
+}
+
+// Resilience configures the engines' fault mitigation. The zero value
+// disables everything (the pre-chaos behaviour); Defaults returns the
+// Spark/Hadoop-flavoured configuration the chaos experiments run with.
+type Resilience struct {
+	// SpecThreshold launches a speculative backup copy of any task running
+	// longer than SpecThreshold x the stage's median task time (0 disables
+	// speculation; Spark's spark.speculation.multiplier defaults to 1.5).
+	SpecThreshold float64
+	// SpecMinTasks skips speculation in stages smaller than this (medians of
+	// tiny stages are noise).
+	SpecMinTasks int
+	// BlacklistAfter blacklists a node after this many task failures are
+	// attributed to it (0 disables blacklisting).
+	BlacklistAfter int
+	// BlacklistBase is the first blacklisting's duration in virtual time;
+	// every further strike doubles it (exponential backoff).
+	BlacklistBase time.Duration
+	// ReReplicate restores the replication factor of DFS blocks that lost a
+	// replica to a node crash.
+	ReReplicate bool
+}
+
+// Defaults returns the standard mitigation configuration: 1.5x-median
+// speculation over stages of at least 4 tasks, blacklisting after 3 failures
+// with a 30-second virtual backoff base, and DFS re-replication on.
+func Defaults() Resilience {
+	return Resilience{
+		SpecThreshold:  1.5,
+		SpecMinTasks:   4,
+		BlacklistAfter: 3,
+		BlacklistBase:  30 * time.Second,
+		ReReplicate:    true,
+	}
+}

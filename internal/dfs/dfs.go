@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"yafim/internal/chaos"
 	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
@@ -31,6 +32,8 @@ type FileSystem struct {
 	files       map[string]*file
 	nextNode    int           // round-robin placement cursor
 	rec         *obs.Recorder // counts I/O volume; nil-safe
+	dead        []bool        // nodes lost to a crash; receive no new replicas
+	plan        *chaos.Plan   // injected block-read failures; nil-safe
 }
 
 type file struct {
@@ -66,6 +69,7 @@ func New(nodes int, opts ...Option) *FileSystem {
 		blockSize:   DefaultBlockSize,
 		replication: 3,
 		files:       make(map[string]*file),
+		dead:        make([]bool, nodes),
 	}
 	for _, o := range opts {
 		o(fs)
@@ -136,10 +140,24 @@ func (fs *FileSystem) WriteFile(path string, data []byte, led *sim.Ledger) error
 }
 
 func (fs *FileSystem) placeReplicasLocked() []int {
-	replicas := make([]int, 0, fs.replication)
-	for len(replicas) < fs.replication {
-		replicas = append(replicas, fs.nextNode)
+	alive := 0
+	for n := 0; n < fs.nodes; n++ {
+		if !fs.dead[n] {
+			alive++
+		}
+	}
+	want := fs.replication
+	if alive > 0 && want > alive {
+		want = alive
+	}
+	replicas := make([]int, 0, want)
+	for len(replicas) < want {
+		n := fs.nextNode
 		fs.nextNode = (fs.nextNode + 1) % fs.nodes
+		if fs.dead[n] && alive > 0 {
+			continue
+		}
+		replicas = append(replicas, n)
 	}
 	return replicas
 }
@@ -205,6 +223,15 @@ func (fs *FileSystem) ReadRange(path string, off, length int64, led *sim.Ledger)
 		led.AddDiskRead(int64(len(out)))
 	}
 	fs.recorder().AddDFSRead(int64(len(out)))
+	// An injected block-read failure never loses data — replication always
+	// has another copy — it just re-fetches the range from a remote replica,
+	// paying network time on top of the disk read.
+	if len(out) > 0 && fs.chaosPlan().ReadFails(path, off) {
+		if led != nil {
+			led.AddNet(int64(len(out)))
+		}
+		fs.recorder().AddBlockReadRetry()
+	}
 	return out, nil
 }
 

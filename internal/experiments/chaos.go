@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"yafim/internal/chaos"
+	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
+	"yafim/internal/yafim"
+)
+
+// ChaosParams configures the chaos resilience sweep: the seed driving every
+// fault decision and the point on the fault-free timeline where a whole node
+// dies.
+type ChaosParams struct {
+	// Seed drives the fault plan; a given seed yields byte-identical
+	// itemsets, makespans and counters on every run.
+	Seed int64
+	// CrashFrac places the node crash at this fraction of the engine's own
+	// fault-free makespan (0 disables the crash). Each engine gets the crash
+	// at the same relative progress point, so the comparison is fair even
+	// though their absolute timelines differ vastly.
+	CrashFrac float64
+}
+
+// DefaultChaosParams is the standard sweep configuration: the full default
+// fault plan with a node crash at 40% of the run.
+func DefaultChaosParams(seed int64) ChaosParams {
+	return ChaosParams{Seed: seed, CrashFrac: 0.4}
+}
+
+// ChaosRun is one engine's chaotic run measured against its own fault-free
+// baseline.
+type ChaosRun struct {
+	Engine    string
+	FaultFree time.Duration
+	Chaotic   time.Duration
+	Counters  obs.Counters
+}
+
+// Overhead returns the relative recovery cost: (chaotic - faultfree) /
+// faultfree.
+func (r *ChaosRun) Overhead() float64 {
+	if r.FaultFree <= 0 {
+		return 0
+	}
+	return float64(r.Chaotic-r.FaultFree) / float64(r.FaultFree)
+}
+
+// RecoveryCost returns the absolute virtual time the engine spent recovering:
+// chaotic makespan minus the fault-free baseline. This is the headline
+// metric: MapReduce's relative overhead looks deceptively small because its
+// fault-free baseline is already dominated by per-job JVM and setup costs,
+// but the absolute time burned re-running map tasks and respawning JVMs
+// dwarfs YAFIM's lineage recomputes.
+func (r *ChaosRun) RecoveryCost() time.Duration {
+	return r.Chaotic - r.FaultFree
+}
+
+// ChaosComparison is one benchmark mined by both engines under the same
+// seeded fault plan, with all four runs (two fault-free, two chaotic)
+// verified to produce identical frequent itemsets.
+type ChaosComparison struct {
+	Dataset   string
+	Support   float64
+	Params    ChaosParams
+	YAFIM     ChaosRun
+	MRApriori ChaosRun
+}
+
+// crashPlan builds the engine's fault plan: the default plan for the seed
+// plus a node crash at the configured fraction of the engine's fault-free
+// makespan. The crashed node is the cluster's last, keeping it distinct from
+// the default plan's straggler so both faults stay observable.
+func crashPlan(p ChaosParams, nodes int, faultFree time.Duration) *chaos.Plan {
+	plan := chaos.DefaultPlan(p.Seed)
+	if p.CrashFrac > 0 {
+		plan.Crash = &chaos.NodeCrash{
+			Node: nodes - 1,
+			At:   time.Duration(float64(faultFree) * p.CrashFrac),
+		}
+	}
+	return plan
+}
+
+// RunChaos mines the benchmark with both engines fault-free to establish
+// baselines, then again under the seeded fault plan — transient task
+// failures, a straggler node, shuffle-fetch and block-read failures, and a
+// mid-run node crash — with the engines' mitigation (speculation,
+// blacklisting, re-replication, lineage/stage recovery) active. All runs
+// must produce identical itemsets; only the virtual timelines diverge. The
+// recovery overheads quantify the paper's fault-tolerance argument: YAFIM's
+// lineage recompute against MapReduce's full task re-execution and per-job
+// restart costs.
+func RunChaos(b Benchmark, env Env, p ChaosParams) (*ChaosComparison, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	yBase, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos %s: yafim baseline: %w", b.Name, err)
+	}
+	mBase, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		mrapriori.Config{}, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos %s: mrapriori baseline: %w", b.Name, err)
+	}
+	if !yBase.Result.Equal(mBase.Result) {
+		return nil, fmt.Errorf("experiments: chaos %s: fault-free engines disagree", b.Name)
+	}
+
+	yRec := obs.New()
+	yPlan := crashPlan(p, env.Spark.Nodes, yBase.TotalDuration())
+	yChaos, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{},
+		rdd.WithRecorder(yRec), rdd.WithChaos(yPlan))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos %s: yafim chaotic: %w", b.Name, err)
+	}
+	if !yChaos.Result.Equal(yBase.Result) {
+		return nil, fmt.Errorf("experiments: chaos %s: chaos changed YAFIM's itemsets", b.Name)
+	}
+
+	mRec := obs.New()
+	mPlan := crashPlan(p, env.Hadoop.Nodes, mBase.TotalDuration())
+	mChaos, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		mrapriori.Config{}, mRec, mPlan)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos %s: mrapriori chaotic: %w", b.Name, err)
+	}
+	if !mChaos.Result.Equal(mBase.Result) {
+		return nil, fmt.Errorf("experiments: chaos %s: chaos changed MRApriori's itemsets", b.Name)
+	}
+
+	return &ChaosComparison{
+		Dataset: b.Name,
+		Support: b.Support,
+		Params:  p,
+		YAFIM: ChaosRun{
+			Engine:    "yafim",
+			FaultFree: yBase.TotalDuration(),
+			Chaotic:   yChaos.TotalDuration(),
+			Counters:  yRec.Counters(),
+		},
+		MRApriori: ChaosRun{
+			Engine:    "mrapriori",
+			FaultFree: mBase.TotalDuration(),
+			Chaotic:   mChaos.TotalDuration(),
+			Counters:  mRec.Counters(),
+		},
+	}, nil
+}
+
+// WriteChaos renders one chaos comparison: per-engine fault-free and chaotic
+// makespans with the relative recovery overhead, followed by the mitigation
+// counters that explain where the time went.
+func WriteChaos(w io.Writer, c *ChaosComparison) {
+	fmt.Fprintf(w, "%s (sup=%g%%, seed=%d, crash at %g%% of fault-free run)\n",
+		c.Dataset, c.Support*100, c.Params.Seed, c.Params.CrashFrac*100)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tfault-free\tchaotic\trecovery\toverhead\tretries\tspec(won)\tblacklisted\tfetch-fail\tstages-rerun\trereplicated")
+	for _, r := range []*ChaosRun{&c.YAFIM, &c.MRApriori} {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%+.1f%%\t%d\t%d(%d)\t%d\t%d\t%d\t%d\n",
+			r.Engine,
+			r.FaultFree.Round(time.Millisecond),
+			r.Chaotic.Round(time.Millisecond),
+			r.RecoveryCost().Round(time.Millisecond),
+			r.Overhead()*100,
+			r.Counters.TaskRetries,
+			r.Counters.SpeculativeLaunches, r.Counters.SpeculativeWins,
+			r.Counters.NodesBlacklisted,
+			r.Counters.FetchFailures,
+			r.Counters.StagesRerun,
+			r.Counters.ReReplicatedBlocks)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "recovery cost: mrapriori +%v vs yafim +%v (%.1fx); relative overhead %+.1f%% vs %+.1f%%\n",
+		c.MRApriori.RecoveryCost().Round(time.Millisecond),
+		c.YAFIM.RecoveryCost().Round(time.Millisecond),
+		c.CostRatio(),
+		c.MRApriori.Overhead()*100, c.YAFIM.Overhead()*100)
+}
+
+// CostRatio returns MRApriori's absolute recovery cost over YAFIM's (0 when
+// YAFIM's cost is not positive).
+func (c *ChaosComparison) CostRatio() float64 {
+	y := c.YAFIM.RecoveryCost()
+	if y <= 0 {
+		return 0
+	}
+	return float64(c.MRApriori.RecoveryCost()) / float64(y)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunChaos verifies the chaos sweep's acceptance shape on one benchmark:
+// results stay exact under faults (RunChaos errors otherwise), both engines
+// pay a positive recovery cost, MRApriori's absolute restart cost exceeds
+// YAFIM's lineage-recompute cost, and the mitigation counters are visible.
+func TestRunChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep runs four full mining jobs")
+	}
+	b, err := FindBenchmark("MushRoom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunChaos(b, testEnv(), DefaultChaosParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*ChaosRun{&c.YAFIM, &c.MRApriori} {
+		if r.RecoveryCost() <= 0 {
+			t.Errorf("%s: recovery cost %v, want > 0", r.Engine, r.RecoveryCost())
+		}
+		if r.Counters.TaskRetries == 0 {
+			t.Errorf("%s: no task retries recorded", r.Engine)
+		}
+		if r.Counters.StagesRerun == 0 {
+			t.Errorf("%s: no stage reruns recorded", r.Engine)
+		}
+	}
+	if c.MRApriori.RecoveryCost() <= c.YAFIM.RecoveryCost() {
+		t.Errorf("mrapriori recovery %v should exceed yafim's %v",
+			c.MRApriori.RecoveryCost(), c.YAFIM.RecoveryCost())
+	}
+	if c.MRApriori.Counters.ReReplicatedBlocks == 0 {
+		t.Error("node crash should trigger DFS re-replication")
+	}
+
+	var sb strings.Builder
+	WriteChaos(&sb, c)
+	for _, want := range []string{"recovery cost", "mrapriori", "yafim", "blacklisted"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("chaos report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestRunChaosDeterministic verifies the headline guarantee: the same seed
+// reproduces byte-identical makespans and counters across independent runs.
+func TestRunChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep runs four full mining jobs")
+	}
+	b, err := FindBenchmark("Chess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunChaos(b, testEnv(), DefaultChaosParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := RunChaos(b, testEnv(), DefaultChaosParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb strings.Builder
+	WriteChaos(&wa, a)
+	WriteChaos(&wb, bb)
+	if wa.String() != wb.String() {
+		t.Errorf("same seed diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			wa.String(), wb.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"yafim/internal/apriori"
+	"yafim/internal/chaos"
 	"yafim/internal/cluster"
 	"yafim/internal/datagen"
 	"yafim/internal/dataset"
@@ -149,9 +150,10 @@ func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 
 // RunMRApriori stages db into a fresh DFS and mines it with the MapReduce
 // implementation on the given cluster. rec (may be nil) captures telemetry
-// from the runner and the DFS.
+// from the runner and the DFS; plan (may be nil) injects the chaos fault
+// plan into the runner and the DFS.
 func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
-	mineCfg mrapriori.Config, rec *obs.Recorder) (*apriori.Trace, *mapreduce.Runner, error) {
+	mineCfg mrapriori.Config, rec *obs.Recorder, plan *chaos.Plan) (*apriori.Trace, *mapreduce.Runner, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
@@ -163,6 +165,11 @@ func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 	}
 	runner.SetRecorder(rec)
 	fs.SetRecorder(rec)
+	if plan != nil {
+		if err := runner.SetChaos(plan); err != nil {
+			return nil, nil, err
+		}
+	}
 	mineCfg.MinSupport = support
 	if mineCfg.NumMapTasks == 0 {
 		mineCfg.NumMapTasks = tasks
@@ -204,7 +211,7 @@ func RunComparison(b Benchmark, env Env) (*Comparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: yafim: %w", b.Name, err)
 	}
-	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil)
+	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: mrapriori: %w", b.Name, err)
 	}
@@ -305,7 +312,7 @@ func RunSizeup(b Benchmark, env Env, replications []int) (*Sizeup, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}
-		mTrace, _, err := RunMRApriori(db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{}, nil)
+		mTrace, _, err := RunMRApriori(db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{}, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"yafim/internal/chaos"
+	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
+	"yafim/internal/yafim"
+)
+
+// fuzzProb folds an arbitrary float into a valid probability in [0, 1).
+func fuzzProb(p float64) float64 {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(p, 1))
+}
+
+// FuzzChaosMiningInvariant is the end-to-end exactness guarantee: for random
+// seeds, datasets and chaos plans, the frequent itemsets mined under chaos
+// are identical to the fault-free run for both YAFIM and MRApriori. Only the
+// virtual timelines may change.
+func FuzzChaosMiningInvariant(f *testing.F) {
+	f.Add(int64(7), int64(2014), 0.05, 0.02, 0.01, uint8(4), uint8(0), true)
+	f.Add(int64(-9), int64(1), 0.6, 0.8, 0.5, uint8(1), uint8(0), false)
+	f.Add(int64(123), int64(99), 1.0, 0.0, 1.0, uint8(9), uint8(3), true)
+	names := []string{"MushRoom", "T10I4D100K", "Chess", "Pumsb_star"}
+	f.Fuzz(func(t *testing.T, chaosSeed, dbSeed int64, taskP, fetchP, readP float64,
+		factor, dsIdx uint8, crash bool) {
+		b, err := FindBenchmark(names[int(dsIdx)%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := testEnv()
+		env.Scale = 0.02
+		env.Seed = dbSeed
+		db, err := b.Gen(env.Scale, env.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		yBase, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mBase, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+			mrapriori.Config{}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !yBase.Result.Equal(mBase.Result) {
+			t.Fatal("fault-free engines disagree")
+		}
+
+		makePlan := func(nodes int, faultFree time.Duration) *chaos.Plan {
+			plan := &chaos.Plan{
+				Seed:              chaosSeed,
+				TaskFailProb:      fuzzProb(taskP),
+				FetchFailProb:     fuzzProb(fetchP),
+				BlockReadFailProb: fuzzProb(readP),
+				Stragglers:        []chaos.Straggler{{Node: 0, Factor: 1 + float64(factor%8)}},
+			}
+			if crash {
+				plan.Crash = &chaos.NodeCrash{Node: nodes - 1, At: faultFree / 3}
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("fuzz built an invalid plan: %v", err)
+			}
+			return plan
+		}
+
+		yPlan := makePlan(env.Spark.Nodes, yBase.TotalDuration())
+		yChaos, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+			yafim.Config{}, rdd.WithChaos(yPlan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !yChaos.Result.Equal(yBase.Result) {
+			t.Fatal("chaos changed YAFIM's frequent itemsets")
+		}
+
+		mPlan := makePlan(env.Hadoop.Nodes, mBase.TotalDuration())
+		mChaos, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+			mrapriori.Config{}, obs.New(), mPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mChaos.Result.Equal(mBase.Result) {
+			t.Fatal("chaos changed MRApriori's frequent itemsets")
+		}
+	})
+}

@@ -38,7 +38,7 @@ func RunObserved(b Benchmark, env Env) ([]ObservedRun, error) {
 
 	mRec := obs.New()
 	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
-		mrapriori.Config{}, mRec)
+		mrapriori.Config{}, mRec, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: observed %s: mapreduce: %w", b.Name, err)
 	}

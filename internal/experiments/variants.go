@@ -79,7 +79,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 	// The MapReduce family on the Hadoop profile.
 	for _, v := range []mrapriori.Variant{mrapriori.SPC, mrapriori.FPC, mrapriori.DPC} {
 		trace, runner, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
-			mrapriori.Config{Variant: v}, nil)
+			mrapriori.Config{Variant: v}, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: variants %s: %v: %w", b.Name, v, err)
 		}

@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"yafim/internal/chaos"
+)
+
+// fuzzProb folds an arbitrary float into a valid probability in [0, 1).
+func fuzzProb(p float64) float64 {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(p, 1))
+}
+
+// FuzzChaosInvariant checks the runner's exactness guarantee over random
+// seeds, input sizes and fault plans: whatever the plan injects — transient
+// task failures, stragglers, shuffle-fetch and block-read failures, a
+// mid-run node crash — the chaotic job must write exactly the fault-free
+// output with the same record counters, and the same seed must reproduce the
+// same makespan.
+func FuzzChaosInvariant(f *testing.F) {
+	f.Add(int64(7), 0.05, 0.02, 0.01, uint8(4), uint8(3), true)
+	f.Add(int64(42), 0.5, 0.9, 0.3, uint8(1), uint8(1), false)
+	f.Add(int64(-11), 1.0, 0.0, 1.0, uint8(16), uint8(6), true)
+	f.Fuzz(func(t *testing.T, seed int64, taskP, fetchP, readP float64,
+		factor, repeat uint8, crash bool) {
+		content := strings.Repeat(corpus, 1+int(repeat)%8)
+		want, wantCtrs, refRep, _ := runWordCountOn(t, content, nil)
+
+		plan := &chaos.Plan{
+			Seed:              seed,
+			TaskFailProb:      fuzzProb(taskP),
+			FetchFailProb:     fuzzProb(fetchP),
+			BlockReadFailProb: fuzzProb(readP),
+			Stragglers:        []chaos.Straggler{{Node: 0, Factor: 1 + float64(factor%8)}},
+		}
+		if crash {
+			plan.Crash = &chaos.NodeCrash{Node: 1, At: refRep.Duration() / 3}
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("fuzz built an invalid plan: %v", err)
+		}
+		chaotic := func(r *Runner) {
+			if err := r.SetChaos(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		got, gotCtrs, rep1, _ := runWordCountOn(t, content, chaotic)
+		if !outputsEqual(got, want) {
+			t.Fatal("chaos changed the job output")
+		}
+		if *gotCtrs != *wantCtrs {
+			t.Fatalf("chaos changed record counters:\nchaos: %+v\nclean: %+v", gotCtrs, wantCtrs)
+		}
+
+		got2, _, rep2, _ := runWordCountOn(t, content, chaotic)
+		if !outputsEqual(got2, want) {
+			t.Fatal("second chaotic run changed the job output")
+		}
+		if rep1.Duration() != rep2.Duration() {
+			t.Fatalf("same seed diverged: %v vs %v", rep1.Duration(), rep2.Duration())
+		}
+	})
+}

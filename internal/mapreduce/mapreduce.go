@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"yafim/internal/chaos"
 	"yafim/internal/cluster"
 	"yafim/internal/dfs"
 	"yafim/internal/obs"
@@ -84,8 +85,17 @@ type Runner struct {
 	parallelism int
 	rec         *obs.Recorder // telemetry; nil disables recording
 
+	// Chaos engineering state; see chaos.go. plan/resil/health are set
+	// before jobs run, crashDone and current only from the Run goroutine.
+	plan      *chaos.Plan
+	resil     chaos.Resilience
+	resilSet  bool
+	health    *chaos.NodeHealth
+	crashDone bool
+
 	mu       sync.Mutex
 	reports  []sim.JobReport
+	current  *sim.JobReport // open job, for the virtual clock
 	failures map[failureKey]int
 }
 
@@ -120,8 +130,20 @@ func (e *TransientError) Error() string {
 
 // FailTaskOnce schedules n transient failures for the given task index of
 // the given stage ("map" or "reduce"): its next n attempts fail and are
-// retried, exercising Hadoop-style task re-execution.
+// retried, exercising Hadoop-style task re-execution. Any other stage name
+// or a negative task index or count is a bug in the caller and panics: a
+// misspelled stage would otherwise silently inject nothing.
 func (r *Runner) FailTaskOnce(stage string, task, n int) {
+	if stage != "map" && stage != "reduce" {
+		panic(fmt.Sprintf("mapreduce: FailTaskOnce: unknown stage %q (want %q or %q)",
+			stage, "map", "reduce"))
+	}
+	if task < 0 {
+		panic(fmt.Sprintf("mapreduce: FailTaskOnce: negative task index %d", task))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("mapreduce: FailTaskOnce: negative failure count %d", n))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failures == nil {
@@ -194,6 +216,14 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 	report := &sim.JobReport{Name: job.Name, Overhead: r.cfg.JobStartup}
 	counters := &Counters{}
 	r.rec.BeginJob("mapreduce", job.Name)
+	r.mu.Lock()
+	r.current = report
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.current = nil
+		r.mu.Unlock()
+	}()
 
 	cache, cacheTime, err := r.loadCache(job.CacheFiles)
 	if err != nil {
@@ -206,13 +236,27 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
 	}
 
-	outputs, mapStage, err := r.runMapStage(job, splits, cache, counters)
+	// A crash planned before this job's map stage only costs exclusion (and
+	// any DFS repair); the map stage simply never schedules on the dead node.
+	r.maybeCrash(report)
+
+	outputs, mapCosts, mapPlacements, mapStage, err := r.runMapStage(job, splits, cache, counters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: map stage: %w", job.Name, err)
 	}
 	report.Stages = append(report.Stages, mapStage)
 
-	reduceStage, err := r.runReduceStage(job, outputs, cache, counters)
+	// A crash between the stages is MapReduce's worst case: the dead node's
+	// map output is gone, and unlike Spark there is no lineage cache — the
+	// JobTracker must re-run those map tasks from their DFS inputs before any
+	// reducer can fetch.
+	if node, fired := r.maybeCrash(report); fired {
+		if rep, ok := r.rerunLostMaps(job, node, mapCosts, mapPlacements); ok {
+			report.Stages = append(report.Stages, rep)
+		}
+	}
+
+	reduceStage, err := r.runReduceStage(job, outputs, mapCosts, cache, counters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: reduce stage: %w", job.Name, err)
 	}
@@ -276,16 +320,17 @@ func (r *Runner) collectSplits(inputs []string, mapTasks int) ([]dfs.Split, erro
 }
 
 func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
-	counters *Counters) ([]*mapOutput, sim.StageReport, error) {
+	counters *Counters) ([]*mapOutput, []sim.Cost, []sim.TaskPlacement, sim.StageReport, error) {
 	outputs := make([]*mapOutput, len(splits))
-	costs := make([]sim.Cost, len(splits))
-	var mu sync.Mutex // guards counters
+	// Per-task counter snapshots, overwritten on retry and summed only after
+	// the stage settles: a failed attempt — chaos strikes after the work is
+	// done — must not double-count records (MapInputRecords feeds minimum
+	// support thresholds downstream).
+	inRecs := make([]int64, len(splits))
+	emitRecs := make([]int64, len(splits))
+	combRecs := make([]int64, len(splits))
 
-	attempts, err := r.forEach(len(splits), func(t int) error {
-		if r.shouldFail("map", t) {
-			return &TransientError{Stage: "map", Task: t}
-		}
-		led := &sim.Ledger{}
+	costs, wasted, attempts, err := r.forEach("map", job.Name+":map", len(splits), func(t int, led *sim.Ledger) error {
 		mapper := job.NewMapper()
 		if err := mapper.Setup(cache, led); err != nil {
 			return fmt.Errorf("task %d setup: %w", t, err)
@@ -356,39 +401,53 @@ func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
 		}
 
 		outputs[t] = out
-		costs[t] = led.Total()
-		mu.Lock()
-		counters.MapInputRecords += int64(len(lines))
-		counters.MapOutputRecords += emitted
-		counters.CombineOutputRecs += combined
-		mu.Unlock()
+		inRecs[t] = int64(len(lines))
+		emitRecs[t] = emitted
+		combRecs[t] = combined
 		return nil
 	})
 	if err != nil {
-		return nil, sim.StageReport{}, err
+		return nil, nil, nil, sim.StageReport{}, err
+	}
+	for t := range splits {
+		counters.MapInputRecords += inRecs[t]
+		counters.MapOutputRecords += emitRecs[t]
+		counters.CombineOutputRecs += combRecs[t]
 	}
 	placed := make([]sim.Placed, len(splits))
 	for i, cost := range costs {
-		placed[i] = sim.Placed{Cost: cost, Pref: splits[i].Locations}
+		placed[i] = sim.Placed{Cost: cost, Pref: splits[i].Locations, Relaunches: attempts[i] - 1}
 	}
-	rep, placements := sim.RunStageScheduled(r.cfg, job.Name+":map", placed)
-	r.recordStage(rep, placed, placements, attempts)
-	return outputs, rep, nil
+	r.noteFailures(job.Name+":map", attempts)
+	rep, placements, spec := sim.RunStageResilient(r.cfg, job.Name+":map", placed, r.stageOpts())
+	r.recordStage(rep, placed, placements, attempts, wasted)
+	r.rec.AddSpeculation(spec.Launched, spec.Won)
+	return outputs, costs, placements, rep, nil
 }
 
-func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
-	counters *Counters) (sim.StageReport, error) {
-	costs := make([]sim.Cost, job.NumReducers)
-	var mu sync.Mutex
+func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, mapCosts []sim.Cost,
+	cache CacheFiles, counters *Counters) (sim.StageReport, error) {
+	groups := make([]int64, job.NumReducers)
+	outRecs := make([]int64, job.NumReducers)
+	shuffleBytes := make([]int64, job.NumReducers)
 
-	attempts, err := r.forEach(job.NumReducers, func(p int) error {
-		if r.shouldFail("reduce", p) {
-			return &TransientError{Stage: "reduce", Task: p}
-		}
-		led := &sim.Ledger{}
+	costs, wasted, attempts, err := r.forEach("reduce", job.Name+":reduce", job.NumReducers, func(p int, led *sim.Ledger) error {
 		reducer := job.NewReducer()
 		if err := reducer.Setup(cache, led); err != nil {
 			return fmt.Errorf("reducer %d setup: %w", p, err)
+		}
+		// Chaos: a failed shuffle fetch means one map task's output is gone.
+		// MapReduce has no lineage cache, so the JobTracker re-runs the whole
+		// victim map task from its DFS input before this reducer can proceed:
+		// the reducer pays the dead fetch plus the map task's full recorded
+		// cost. The in-memory output is reused byte-identically — only the
+		// virtual cost is charged, never the mapper closure re-run.
+		if name := job.Name + ":reduce"; r.plan.FetchFails(name, p) {
+			victim := r.plan.FetchVictim(name, p, len(outputs))
+			r.rec.AddFetchFailure()
+			r.rec.AddStageRerun()
+			led.AddNet(outputs[victim].bytes[p]) // the fetch that found nothing
+			led.Add(mapCosts[victim])
 		}
 		// Shuffle fetch: this reducer's bucket from every map task.
 		merged := make(map[string][]string)
@@ -402,7 +461,7 @@ func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
 				fetched += int64(len(vs))
 			}
 		}
-		r.rec.AddShuffleBytes(fetchedBytes)
+		shuffleBytes[p] = fetchedBytes
 		// Merge sort of fetched runs.
 		led.AddCPU(nLogN(fetched))
 		keys := make([]string, 0, len(merged))
@@ -430,29 +489,33 @@ func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, cache CacheFiles,
 		if err := r.fs.WriteFile(path, []byte(sb.String()), led); err != nil {
 			return fmt.Errorf("reducer %d commit: %w", p, err)
 		}
-		costs[p] = led.Total()
-		mu.Lock()
-		counters.ReduceInputGroups += int64(len(keys))
-		counters.ReduceOutputRecords += outRecords
-		mu.Unlock()
+		groups[p] = int64(len(keys))
+		outRecs[p] = outRecords
 		return nil
 	})
 	if err != nil {
 		return sim.StageReport{}, err
 	}
+	for p := 0; p < job.NumReducers; p++ {
+		counters.ReduceInputGroups += groups[p]
+		counters.ReduceOutputRecords += outRecs[p]
+		r.rec.AddShuffleBytes(shuffleBytes[p])
+	}
 	placed := make([]sim.Placed, len(costs))
 	for i, cost := range costs {
-		placed[i] = sim.Placed{Cost: cost}
+		placed[i] = sim.Placed{Cost: cost, Relaunches: attempts[i] - 1}
 	}
-	rep, placements := sim.RunStageScheduled(r.cfg, job.Name+":reduce", placed)
-	r.recordStage(rep, placed, placements, attempts)
+	r.noteFailures(job.Name+":reduce", attempts)
+	rep, placements, spec := sim.RunStageResilient(r.cfg, job.Name+":reduce", placed, r.stageOpts())
+	r.recordStage(rep, placed, placements, attempts, wasted)
+	r.rec.AddSpeculation(spec.Launched, spec.Won)
 	return rep, nil
 }
 
 // recordStage converts one executed stage's schedule into telemetry: a stage
 // span with per-task spans plus retry and locality-placement counters.
 func (r *Runner) recordStage(rep sim.StageReport, placed []sim.Placed,
-	placements []sim.TaskPlacement, attempts []int) {
+	placements []sim.TaskPlacement, attempts []int, wasted []sim.Cost) {
 	if r.rec == nil {
 		return
 	}
@@ -475,9 +538,13 @@ func (r *Runner) recordStage(rep sim.StageReport, placed []sim.Placed,
 		}
 	}
 	if retries > 0 {
-		// Injected MapReduce failures abort at task start, so the wasted
-		// virtual cost of a failed attempt is effectively zero.
-		r.rec.AddRetries(retries, sim.Cost{})
+		// FailTaskOnce aborts at task start (zero waste); chaos-injected
+		// failures strike after the attempt's work, wasting its full cost.
+		var waste sim.Cost
+		for _, w := range wasted {
+			waste = waste.Add(w)
+		}
+		r.rec.AddRetries(retries, waste)
 	}
 	if local > 0 || remote > 0 {
 		r.rec.AddLocality(local, remote)
@@ -485,10 +552,17 @@ func (r *Runner) recordStage(rep sim.StageReport, placed []sim.Placed,
 }
 
 // forEach runs fn(0..n-1) on the worker pool, retrying each task up to the
-// Hadoop attempt limit. It returns the attempt count each task needed and
-// the joined terminal errors.
-func (r *Runner) forEach(n int, fn func(i int) error) ([]int, error) {
-	attempts := make([]int, n)
+// Hadoop attempt limit. Each attempt gets a fresh ledger; the successful
+// attempt's total becomes the task's cost, failed attempts accumulate into
+// its wasted cost. After an attempt's work succeeds the chaos plan may still
+// kill it — the executor dies before reporting — so the full attempt is
+// wasted and retried; injection never touches the last permitted attempt,
+// keeping jobs degradable but not failable. stage is the FailTaskOnce key
+// ("map"/"reduce"), domain the job-qualified chaos decision domain.
+func (r *Runner) forEach(stage, domain string, n int, fn func(i int, led *sim.Ledger) error) (costs, wasted []sim.Cost, attempts []int, err error) {
+	costs = make([]sim.Cost, n)
+	wasted = make([]sim.Cost, n)
+	attempts = make([]int, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, r.parallelism)
 	var wg sync.WaitGroup
@@ -501,16 +575,25 @@ func (r *Runner) forEach(n int, fn func(i int) error) ([]int, error) {
 			var lastErr error
 			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
 				attempts[i] = attempt
-				if lastErr = fn(i); lastErr == nil {
+				led := &sim.Ledger{}
+				if r.shouldFail(stage, i) {
+					lastErr = &TransientError{Stage: stage, Task: i}
+				} else if lastErr = fn(i, led); lastErr == nil &&
+					attempt < maxTaskAttempts && r.plan.TaskFails(domain, i, attempt) {
+					lastErr = &chaos.InjectedError{Stage: domain, Task: i, Attempt: attempt}
+				}
+				if lastErr == nil {
+					costs[i] = led.Total()
 					return
 				}
+				wasted[i] = wasted[i].Add(led.Total())
 			}
 			errs[i] = fmt.Errorf("mapreduce: task %d failed after %d attempts: %w",
 				i, maxTaskAttempts, lastErr)
 		}(i)
 	}
 	wg.Wait()
-	return attempts, errors.Join(errs...)
+	return costs, wasted, attempts, errors.Join(errs...)
 }
 
 func nLogN(n int64) float64 {

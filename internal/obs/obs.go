@@ -47,6 +47,16 @@ type Counters struct {
 	TaskRetries int64    `json:"task_retries"`
 	WastedCost  sim.Cost `json:"wasted_cost"`
 
+	// Chaos mitigation: speculative execution, node blacklisting, shuffle
+	// fetch recovery, and DFS block repair.
+	SpeculativeLaunches int64 `json:"speculative_launches"`
+	SpeculativeWins     int64 `json:"speculative_wins"`
+	NodesBlacklisted    int64 `json:"nodes_blacklisted"`
+	FetchFailures       int64 `json:"fetch_failures"`
+	StagesRerun         int64 `json:"stages_rerun"`
+	ReReplicatedBlocks  int64 `json:"re_replicated_blocks"`
+	BlockReadRetries    int64 `json:"block_read_retries"`
+
 	// Locality-aware scheduling: tasks with a preference that ran on a
 	// preferred node versus tasks that had to read their input remotely.
 	LocalityLocal  int64 `json:"locality_local"`
@@ -68,8 +78,17 @@ func (c Counters) Sub(d Counters) Counters {
 		DFSWriteBytes:     c.DFSWriteBytes - d.DFSWriteBytes,
 		TaskRetries:       c.TaskRetries - d.TaskRetries,
 		WastedCost:        c.WastedCost.Sub(d.WastedCost),
-		LocalityLocal:     c.LocalityLocal - d.LocalityLocal,
-		LocalityRemote:    c.LocalityRemote - d.LocalityRemote,
+
+		SpeculativeLaunches: c.SpeculativeLaunches - d.SpeculativeLaunches,
+		SpeculativeWins:     c.SpeculativeWins - d.SpeculativeWins,
+		NodesBlacklisted:    c.NodesBlacklisted - d.NodesBlacklisted,
+		FetchFailures:       c.FetchFailures - d.FetchFailures,
+		StagesRerun:         c.StagesRerun - d.StagesRerun,
+		ReReplicatedBlocks:  c.ReReplicatedBlocks - d.ReReplicatedBlocks,
+		BlockReadRetries:    c.BlockReadRetries - d.BlockReadRetries,
+
+		LocalityLocal:  c.LocalityLocal - d.LocalityLocal,
+		LocalityRemote: c.LocalityRemote - d.LocalityRemote,
 	}
 }
 
@@ -366,5 +385,72 @@ func (r *Recorder) AddLocality(local, remote int64) {
 	r.mu.Lock()
 	r.counters.LocalityLocal += local
 	r.counters.LocalityRemote += remote
+	r.mu.Unlock()
+}
+
+// AddSpeculation records one stage's speculative-execution outcome: backup
+// copies launched and backups that beat their original attempt.
+func (r *Recorder) AddSpeculation(launched, won int64) {
+	if r == nil || (launched == 0 && won == 0) {
+		return
+	}
+	r.mu.Lock()
+	r.counters.SpeculativeLaunches += launched
+	r.counters.SpeculativeWins += won
+	r.mu.Unlock()
+}
+
+// AddBlacklistings records n nodes entering a blacklist window after
+// repeated task failures.
+func (r *Recorder) AddBlacklistings(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.NodesBlacklisted += n
+	r.mu.Unlock()
+}
+
+// AddFetchFailure records one shuffle fetch that found a map output missing
+// and triggered parent re-execution.
+func (r *Recorder) AddFetchFailure() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.FetchFailures++
+	r.mu.Unlock()
+}
+
+// AddStageRerun records one stage (or stage fragment) re-executed to
+// regenerate lost intermediate data.
+func (r *Recorder) AddStageRerun() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.StagesRerun++
+	r.mu.Unlock()
+}
+
+// AddReReplicatedBlocks records n DFS blocks whose replication factor was
+// restored after a node loss.
+func (r *Recorder) AddReReplicatedBlocks(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.ReReplicatedBlocks += n
+	r.mu.Unlock()
+}
+
+// AddBlockReadRetry records one DFS block read that failed on its first
+// replica and was served by another.
+func (r *Recorder) AddBlockReadRetry() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters.BlockReadRetries++
 	r.mu.Unlock()
 }

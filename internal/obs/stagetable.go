@@ -101,6 +101,13 @@ func WriteCounters(w io.Writer, c Counters) error {
 		{"dfs_write_bytes", c.DFSWriteBytes},
 		{"task_retries", c.TaskRetries},
 		{"wasted_cost", c.WastedCost},
+		{"speculative_launches", c.SpeculativeLaunches},
+		{"speculative_wins", c.SpeculativeWins},
+		{"nodes_blacklisted", c.NodesBlacklisted},
+		{"fetch_failures", c.FetchFailures},
+		{"stages_rerun", c.StagesRerun},
+		{"re_replicated_blocks", c.ReReplicatedBlocks},
+		{"block_read_retries", c.BlockReadRetries},
 		{"locality_local", c.LocalityLocal},
 		{"locality_remote", c.LocalityRemote},
 	}

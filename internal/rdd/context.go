@@ -17,7 +17,9 @@ import (
 	"sync"
 	"time"
 
+	"yafim/internal/chaos"
 	"yafim/internal/cluster"
+	"yafim/internal/dfs"
 	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
@@ -42,6 +44,16 @@ type Context struct {
 	jobShipBytes    int64 // naive-mode bytes serialized through the driver
 
 	cacheMgr *cacheManager // per-node executor memory accounting
+
+	// Chaos engineering: the seed-driven fault plan, the mitigation
+	// configuration, per-node failure bookkeeping, whether the planned crash
+	// has fired, and the filesystems that crash along with a node.
+	chaosPlan *chaos.Plan
+	resil     chaos.Resilience
+	resilSet  bool
+	health    *chaos.NodeHealth
+	crashDone bool
+	fss       []*dfs.FileSystem
 
 	// rec receives telemetry spans and counters; nil disables recording.
 	// computed tracks which (rdd, partition) pairs have been materialised
@@ -114,6 +126,12 @@ func NewContext(cfg cluster.Config, opts ...Option) (*Context, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.chaosPlan != nil {
+		if err := c.chaosPlan.Validate(); err != nil {
+			return nil, err
+		}
+		c.health = chaos.NewNodeHealth(cfg.Nodes, c.resil)
+	}
 	return c, nil
 }
 
@@ -185,8 +203,16 @@ func (c *Context) registerCache(e evictor) {
 
 // FailTaskOnce injects n transient failures into the given partition of the
 // given RDD: its next n materialisations return an error, exercising the
-// scheduler's task retry path.
+// scheduler's task retry path. Negative partition indices or failure counts
+// are injector bugs — the failures would silently never fire — so they
+// panic.
 func (c *Context) FailTaskOnce(rddID, part, n int) {
+	if part < 0 {
+		panic(fmt.Sprintf("rdd: FailTaskOnce: negative partition index %d", part))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("rdd: FailTaskOnce: negative failure count %d", n))
+	}
 	c.mu.Lock()
 	c.failures[failureKey{rddID, part}] += n
 	c.mu.Unlock()
@@ -214,6 +240,7 @@ func (c *Context) KillNode(n int) {
 	for _, e := range caches {
 		e.evictNode(n, nodes)
 	}
+	c.health.MarkDead(n)
 }
 
 // DropAllCaches evicts every cached partition, as if all executors were
@@ -298,6 +325,8 @@ func (c *Context) addStage(rep sim.StageReport) {
 // prefs (optional, per task) lists the nodes holding the task's input for
 // locality-aware scheduling.
 func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p int, led *sim.Ledger) error) error {
+	c.maybeCrash()
+
 	costs := make([]sim.Cost, numTasks)
 	wasted := make([]sim.Cost, numTasks) // cost burned by failed attempts
 	attempts := make([]int, numTasks)
@@ -316,6 +345,14 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 				led := &sim.Ledger{}
 				lastErr = work(p, led)
 				attempts[p] = attempt
+				// A chaos-injected failure strikes after the work ran — the
+				// executor dies before reporting success — so the attempt's
+				// full cost is wasted. Never injected on the last permitted
+				// attempt: the plan degrades jobs, it cannot fail them.
+				if lastErr == nil && attempt < maxTaskAttempts &&
+					c.chaosPlan.TaskFails(name, p, attempt) {
+					lastErr = &chaos.InjectedError{Stage: name, Task: p, Attempt: attempt}
+				}
 				if lastErr == nil {
 					costs[p] = led.Total()
 					return
@@ -334,18 +371,22 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 	if err := errors.Join(errs...); err != nil {
 		return err
 	}
+	c.noteFailures(name, attempts)
 	placed := make([]sim.Placed, numTasks)
 	for i, cost := range costs {
 		// Retried tasks run their attempts back to back on one core, so the
-		// scheduled cost is the successful attempt plus everything wasted.
-		placed[i] = sim.Placed{Cost: cost.Add(wasted[i])}
+		// scheduled cost is the successful attempt plus everything wasted,
+		// and each retry re-dispatches the task (cheap on resident Spark
+		// executors, expensive on per-task MapReduce JVMs).
+		placed[i] = sim.Placed{Cost: cost.Add(wasted[i]), Relaunches: attempts[i] - 1}
 		if i < len(prefs) {
 			placed[i].Pref = prefs[i]
 		}
 	}
-	rep, placements := sim.RunStageScheduled(c.cfg, name, placed)
+	rep, placements, spec := sim.RunStageResilient(c.cfg, name, placed, c.stageOpts())
 	c.addStage(rep)
 	c.recordStage(rep, placed, placements, wasted, attempts)
+	c.rec.AddSpeculation(spec.Launched, spec.Won)
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package rdd
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"yafim/internal/chaos"
+	"yafim/internal/cluster"
+)
+
+// fuzzProb folds an arbitrary float into a valid probability in [0, 1).
+func fuzzProb(p float64) float64 {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(p, 1))
+}
+
+// fuzzPipeline runs the cache-count-shuffle pipeline on a fuzz-chosen
+// dataset and returns the collected pairs plus the context.
+func fuzzPipeline(t *testing.T, rows, keys int, opts ...Option) ([]Pair[string, int64], *Context) {
+	t.Helper()
+	ctx, err := NewContext(cluster.Local(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []Pair[string, int64]
+	for i := 0; i < rows; i++ {
+		data = append(data, Pair[string, int64]{Key: fmt.Sprintf("k%d", i%keys), Value: 1})
+	}
+	pairs := Parallelize(ctx, "pairs", data, 16).Cache()
+	if _, err := Count(pairs); err != nil {
+		t.Fatal(err)
+	}
+	counted := ReduceByKey(pairs, "counted", func(a, b int64) int64 { return a + b }, 8)
+	out, err := Collect(counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ctx
+}
+
+// FuzzChaosInvariant checks the engine's exactness guarantee over random
+// seeds, datasets and fault plans: whatever faults the plan injects —
+// transient task failures, stragglers, fetch and block-read failures, a
+// mid-run node crash — the chaotic run must produce exactly the fault-free
+// results, and a second chaotic run with the same seed must reproduce the
+// same makespan.
+func FuzzChaosInvariant(f *testing.F) {
+	f.Add(int64(7), 0.05, 0.02, 0.01, uint8(4), uint16(400), uint8(37), true)
+	f.Add(int64(99), 0.5, 0.9, 0.3, uint8(1), uint16(64), uint8(3), false)
+	f.Add(int64(-3), 1.0, 0.0, 1.0, uint8(16), uint16(900), uint8(61), true)
+	f.Fuzz(func(t *testing.T, seed int64, taskP, fetchP, readP float64,
+		factor uint8, rows uint16, keys uint8, crash bool) {
+		nRows := 50 + int(rows)%800
+		nKeys := 1 + int(keys)%64
+		want, refCtx := fuzzPipeline(t, nRows, nKeys)
+
+		plan := &chaos.Plan{
+			Seed:              seed,
+			TaskFailProb:      fuzzProb(taskP),
+			FetchFailProb:     fuzzProb(fetchP),
+			BlockReadFailProb: fuzzProb(readP),
+			Stragglers:        []chaos.Straggler{{Node: 0, Factor: 1 + float64(factor%8)}},
+		}
+		if crash {
+			plan.Crash = &chaos.NodeCrash{
+				Node: 1,
+				At:   refCtx.TotalDuration() / 3,
+			}
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("fuzz built an invalid plan: %v", err)
+		}
+
+		got, ctx1 := fuzzPipeline(t, nRows, nKeys, WithChaos(plan))
+		if len(got) != len(want) {
+			t.Fatalf("chaos changed result size: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chaos changed pair %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+
+		got2, ctx2 := fuzzPipeline(t, nRows, nKeys, WithChaos(plan))
+		for i := range got2 {
+			if got2[i] != want[i] {
+				t.Fatalf("second chaotic run changed pair %d: %+v vs %+v", i, got2[i], want[i])
+			}
+		}
+		if d1, d2 := ctx1.TotalDuration(), ctx2.TotalDuration(); d1 != d2 {
+			t.Fatalf("same seed diverged: %v vs %v", d1, d2)
+		}
+	})
+}

@@ -134,6 +134,27 @@ func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
 		if st.buckets == nil {
 			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
 		}
+		// Chaos: a failed shuffle fetch means one map task's output is gone.
+		// The RDD recovery story is lineage: recompute just that parent
+		// partition (a cache hit when the parent is cached — near free) and
+		// rebuild its map-side output. The memoized buckets are reused as the
+		// recomputation's byte-identical result; only the cost is charged.
+		if plan := r.ctx.chaosPlan; plan.FetchFails(name, p) {
+			victim := plan.FetchVictim(name, p, r.parts)
+			r.ctx.rec.AddFetchFailure()
+			r.ctx.rec.AddStageRerun()
+			led.AddNet(st.bytes[victim][p]) // the fetch that found nothing
+			rows, err := r.materialize(victim, led)
+			if err != nil {
+				return nil, err
+			}
+			var spill int64
+			for _, sz := range st.bytes[victim] {
+				spill += sz
+			}
+			led.AddCPU(2 * float64(len(rows)))
+			led.AddDiskWrite(spill)
+		}
 		merged := make(map[K]V)
 		var fetched int64
 		for m := range st.buckets {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sort"
 	"time"
 
 	"yafim/internal/cluster"
@@ -10,9 +9,14 @@ import (
 // Placed is a task cost with optional data-locality preferences: the nodes
 // holding a local replica of the task's input. An empty Pref means the task
 // can run anywhere at no penalty (e.g. shuffle reads, already remote).
+// Relaunches counts failed prior attempts of the task; each one charges an
+// extra cfg.TaskLaunch for re-spawning the task's container, which is how
+// the per-attempt JVM respawn cost of MapReduce (300 ms) versus Spark's
+// resident executors (4 ms) enters the fault-recovery comparison.
 type Placed struct {
 	Cost
-	Pref []int
+	Pref       []int
+	Relaunches int
 }
 
 // TaskPlacement describes where and when the deterministic schedule ran one
@@ -40,72 +44,7 @@ type TaskPlacement struct {
 // (LPT) with all ties broken on the lowest index, so the schedule is
 // deterministic.
 func PlaceTasks(cfg cluster.Config, tasks []Placed) ([]TaskPlacement, time.Duration) {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	if len(tasks) == 0 {
-		return nil, 0
-	}
-	durs := make([]time.Duration, len(tasks))
-	for i, t := range tasks {
-		durs[i] = TaskTime(cfg, t.Cost)
-	}
-	order := make([]int, len(tasks))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return durs[order[a]] > durs[order[b]] })
-
-	placements := make([]TaskPlacement, len(tasks))
-	cores := make([]time.Duration, cfg.TotalCores())
-	nodeOf := func(core int) int { return core / cfg.CoresPerNode }
-	for _, ti := range order {
-		best := 0
-		for ci := 1; ci < len(cores); ci++ {
-			if cores[ci] < cores[best] {
-				best = ci
-			}
-		}
-		chosen := best
-		remote := false
-		if prefs := tasks[ti].Pref; len(prefs) > 0 {
-			// Least-loaded core on a preferred node.
-			bestLocal := -1
-			for ci := 0; ci < len(cores); ci++ {
-				if !contains(prefs, nodeOf(ci)) {
-					continue
-				}
-				if bestLocal < 0 || cores[ci] < cores[bestLocal] {
-					bestLocal = ci
-				}
-			}
-			switch {
-			case bestLocal >= 0 && cores[bestLocal] <= cores[best]+localityWait(cfg):
-				chosen = bestLocal
-			default:
-				remote = !contains(prefs, nodeOf(best))
-			}
-		}
-		d := durs[ti]
-		if remote {
-			d += remoteReadPenalty(cfg, tasks[ti].Cost)
-		}
-		placements[ti] = TaskPlacement{
-			Task:   ti,
-			Node:   nodeOf(chosen),
-			Core:   chosen % cfg.CoresPerNode,
-			Start:  cores[chosen],
-			End:    cores[chosen] + d,
-			Remote: remote,
-		}
-		cores[chosen] += d
-	}
-	var makespan time.Duration
-	for _, load := range cores {
-		if load > makespan {
-			makespan = load
-		}
-	}
+	placements, _, makespan := PlaceTasksOpts(cfg, tasks, StageOpts{})
 	return placements, makespan
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"yafim/internal/apriori"
+	"yafim/internal/chaos"
 	"yafim/internal/cluster"
 	"yafim/internal/datagen"
 	"yafim/internal/dataset"
@@ -77,6 +78,27 @@ type (
 
 // NewRecorder creates an empty telemetry recorder.
 func NewRecorder() *Recorder { return obs.New() }
+
+// Chaos engineering types, re-exported from the chaos package.
+type (
+	// ChaosPlan is a deterministic seed-driven fault plan; attach one via
+	// Options.Chaos to inject task failures, stragglers, fetch/block-read
+	// failures and a node crash into a parallel engine's run. A given seed
+	// yields byte-identical results and timings on every run.
+	ChaosPlan = chaos.Plan
+	// NodeCrash schedules a whole-node failure at a virtual time.
+	NodeCrash = chaos.NodeCrash
+	// Straggler slows one node by a constant factor.
+	Straggler = chaos.Straggler
+	// Resilience configures the engines' fault mitigation (speculation,
+	// blacklisting, re-replication).
+	Resilience = chaos.Resilience
+)
+
+// DefaultChaosPlan returns the standard fault plan for a seed: 5% task
+// failures, 2% shuffle-fetch failures, 1% block-read failures and one 4x
+// straggler node. Engines mitigate with chaos.Defaults unless overridden.
+func DefaultChaosPlan(seed int64) *ChaosPlan { return chaos.DefaultPlan(seed) }
 
 // WriteChromeTrace writes a recorded run as Chrome trace-event JSON, loadable
 // in Perfetto or chrome://tracing: one process per simulated node, one thread
@@ -210,6 +232,11 @@ type Options struct {
 	// timeline plus runtime counters) from the parallel engines. Sequential
 	// engines ignore it.
 	Recorder *Recorder
+	// Chaos, when non-nil, injects the seeded fault plan into the parallel
+	// engines (yafim, mapreduce, disteclat); mining results are unaffected —
+	// only the virtual timeline shows the faults and their mitigation.
+	// Sequential engines ignore it.
+	Chaos *ChaosPlan
 }
 
 // Mine finds all frequent itemsets of db at the given relative minimum
@@ -226,7 +253,7 @@ func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
 	case EngineMapReduce:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
 		trace, _, err := experiments.RunMRApriori(db, minSupport, cfg, tasks(opts, cfg),
-			mrapriori.Config{MaxK: opts.MaxK}, opts.Recorder)
+			mrapriori.Config{MaxK: opts.MaxK}, opts.Recorder, opts.Chaos)
 		return trace, err
 	case EngineSequential:
 		return timed(func() (*Result, error) {
@@ -262,10 +289,14 @@ func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
 
 // rddOptions translates facade options into RDD engine options.
 func rddOptions(opts Options) []rdd.Option {
-	if opts.Recorder == nil {
-		return nil
+	var out []rdd.Option
+	if opts.Recorder != nil {
+		out = append(out, rdd.WithRecorder(opts.Recorder))
 	}
-	return []rdd.Option{rdd.WithRecorder(opts.Recorder)}
+	if opts.Chaos != nil {
+		out = append(out, rdd.WithChaos(opts.Chaos))
+	}
+	return out
 }
 
 func clusterOrDefault(c *Cluster, def func() Cluster) Cluster {
