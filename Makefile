@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos bench clean
+.PHONY: build test race vet check chaos fuzz-smoke bench clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/sim/ ./internal/dfs/
 	$(GO) test -race -run 'Chaos' ./internal/rdd/ ./internal/mapreduce/ \
 		./internal/experiments/
+
+# fuzz-smoke gives each fuzz target a short budget of fresh inputs on top of
+# its seed corpus — enough to catch regressions in the determinism and
+# exactness invariants without turning CI into a fuzzing farm.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzChaosInvariant' -fuzztime $(FUZZTIME) ./internal/rdd/
+	$(GO) test -run '^$$' -fuzz 'FuzzChaosInvariant' -fuzztime $(FUZZTIME) ./internal/mapreduce/
+	$(GO) test -run '^$$' -fuzz 'FuzzChaosMiningInvariant' -fuzztime $(FUZZTIME) ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -13,6 +13,7 @@ package yafim
 // testbed; the custom metrics carry the reproduced results.
 
 import (
+	"context"
 	"testing"
 
 	"yafim/internal/experiments"
@@ -63,7 +64,7 @@ func BenchmarkFig3PerIteration(b *testing.B) {
 			var lastSpeedup float64
 			var virtSecs float64
 			for i := 0; i < b.N; i++ {
-				c, err := experiments.RunComparison(bm, env)
+				c, err := experiments.RunComparison(context.Background(), bm, env)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -86,7 +87,7 @@ func BenchmarkFig4Sizeup(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var yGrow, mGrow float64
 			for i := 0; i < b.N; i++ {
-				s, err := experiments.RunSizeup(bm, env, []int{1, 3, 6})
+				s, err := experiments.RunSizeup(context.Background(), bm, env, []int{1, 3, 6})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -108,7 +109,7 @@ func BenchmarkFig5Speedup(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var rel float64
 			for i := 0; i < b.N; i++ {
-				s, err := experiments.RunSpeedup(bm, env, []int{4, 8, 12}, 6)
+				s, err := experiments.RunSpeedup(context.Background(), bm, env, []int{4, 8, 12}, 6)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -126,7 +127,7 @@ func BenchmarkFig6Medical(b *testing.B) {
 	env := benchEnv()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		c, err := experiments.RunComparison(experiments.MedicalBenchmark(), env)
+		c, err := experiments.RunComparison(context.Background(), experiments.MedicalBenchmark(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkSummaryAverageSpeedup(b *testing.B) {
 	env.Scale = 0.05
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.RunSummary(env)
+		s, err := experiments.RunSummary(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 	bm := mustBenchmark(b, "MushRoom")
 	var benefit float64
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.RunBroadcastAblation(bm, env)
+		a, err := experiments.RunBroadcastAblation(context.Background(), bm, env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkAblationCache(b *testing.B) {
 	bm := mustBenchmark(b, "MushRoom")
 	var benefit float64
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.RunCacheAblation(bm, env)
+		a, err := experiments.RunCacheAblation(context.Background(), bm, env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func BenchmarkAblationHashTree(b *testing.B) {
 	bm := mustBenchmark(b, "T10I4D100K")
 	var benefit float64
 	for i := 0; i < b.N; i++ {
-		a, err := experiments.RunHashTreeAblation(bm, env)
+		a, err := experiments.RunHashTreeAblation(context.Background(), bm, env)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,24 +16,38 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"yafim/internal/exec"
 	"yafim/internal/experiments"
 	"yafim/internal/obs"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the context; the running experiment stops at its
+	// next task boundary and the error propagates back here. A second signal
+	// kills the process immediately (signal.NotifyContext restores default
+	// handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if exec.IsCancellation(err) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, chaos, or all")
 		ds        = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
@@ -107,7 +121,7 @@ func run() error {
 
 	if err := run("fig3", func() error {
 		for _, b := range benches {
-			c, err := experiments.RunComparison(b, env)
+			c, err := experiments.RunComparison(ctx, b, env)
 			if err != nil {
 				return err
 			}
@@ -133,7 +147,7 @@ func run() error {
 			reps = append(reps, r)
 		}
 		for _, b := range benches {
-			s, err := experiments.RunSizeup(b, env, reps)
+			s, err := experiments.RunSizeup(ctx, b, env, reps)
 			if err != nil {
 				return err
 			}
@@ -155,7 +169,7 @@ func run() error {
 
 	if err := run("fig5", func() error {
 		for _, b := range benches {
-			s, err := experiments.RunSpeedup(b, env, []int{4, 6, 8, 10, 12}, 6)
+			s, err := experiments.RunSpeedup(ctx, b, env, []int{4, 6, 8, 10, 12}, 6)
 			if err != nil {
 				return err
 			}
@@ -176,7 +190,7 @@ func run() error {
 	}
 
 	if err := run("fig6", func() error {
-		c, err := experiments.RunComparison(experiments.MedicalBenchmark(), env)
+		c, err := experiments.RunComparison(ctx, experiments.MedicalBenchmark(), env)
 		if err != nil {
 			return err
 		}
@@ -192,7 +206,7 @@ func run() error {
 	}
 
 	if err := run("summary", func() error {
-		s, err := experiments.RunSummary(env)
+		s, err := experiments.RunSummary(ctx, env)
 		if err != nil {
 			return err
 		}
@@ -206,7 +220,7 @@ func run() error {
 
 	if err := run("variants", func() error {
 		for _, b := range benches {
-			v, err := experiments.RunVariants(b, env)
+			v, err := experiments.RunVariants(ctx, b, env)
 			if err != nil {
 				return err
 			}
@@ -232,13 +246,13 @@ func run() error {
 		}
 		for _, a := range []struct {
 			b  experiments.Benchmark
-			fn func(experiments.Benchmark, experiments.Env) (*experiments.Ablation, error)
+			fn func(context.Context, experiments.Benchmark, experiments.Env) (*experiments.Ablation, error)
 		}{
 			{heavy, experiments.RunBroadcastAblation},
 			{big, experiments.RunCacheAblation},
 			{heavy, experiments.RunHashTreeAblation},
 		} {
-			res, err := a.fn(a.b, env)
+			res, err := a.fn(ctx, a.b, env)
 			if err != nil {
 				return err
 			}
@@ -254,7 +268,7 @@ func run() error {
 	if *exp == "obs" {
 		fmt.Println("=== obs: instrumented runs ===")
 		for _, b := range benches {
-			runs, err := experiments.RunObserved(b, env)
+			runs, err := experiments.RunObserved(ctx, b, env)
 			if err != nil {
 				return err
 			}
@@ -285,7 +299,7 @@ func run() error {
 		params := experiments.DefaultChaosParams(*chaosSeed)
 		params.CrashFrac = *crashFrac
 		for _, b := range benches {
-			c, err := experiments.RunChaos(b, env, params)
+			c, err := experiments.RunChaos(ctx, b, env, params)
 			if err != nil {
 				return err
 			}
@@ -296,7 +310,7 @@ func run() error {
 
 	if *exp == "check" {
 		fmt.Println("=== check: paper claims vs reproduction ===")
-		checks, err := experiments.RunShapeChecks(env)
+		checks, err := experiments.RunShapeChecks(ctx, env)
 		if err != nil {
 			return err
 		}

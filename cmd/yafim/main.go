@@ -14,14 +14,24 @@
 // JSON of the run's virtual timeline (load it in Perfetto or
 // chrome://tracing), -stats prints a Spark-Web-UI-style per-stage skew table
 // plus the counter totals, and -json emits a machine-readable run summary.
+//
+// Runs are interruptible: -timeout bounds the real (wall-clock) time of the
+// mining run, and Ctrl-C (SIGINT) or SIGTERM cancels it at the next task
+// boundary. Either way the process exits cleanly — and if -trace or -stats
+// was requested, the telemetry recorded up to the cancellation point is
+// still written, so a partial timeline of an aborted run remains inspectable.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -29,13 +39,22 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the mining context; a second signal kills the
+	// process immediately (NotifyContext restores default handling once the
+	// context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, yafim.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "yafim: interrupted:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "yafim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		input    = flag.String("input", "", "transaction file in .dat format (required)")
 		support  = flag.Float64("support", 0.01, "relative minimum support in (0,1]")
@@ -50,6 +69,7 @@ func run() error {
 		stats    = flag.Bool("stats", false, "print per-stage skew table and counter totals")
 		chaosS   = flag.Int64("chaos", 0, "if != 0, inject the seeded chaos fault plan into parallel engines")
 		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
+		timeout  = flag.Duration("timeout", 0, "abort the mining run after this much real time (0 = no limit)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -70,7 +90,7 @@ func run() error {
 			*input, st.NumTransactions, st.NumItems, st.AvgLength)
 	}
 
-	opts := yafim.Options{Engine: eng, MaxK: *maxK}
+	opts := yafim.Options{Engine: eng, MaxK: *maxK, Deadline: *timeout}
 	if *traceOut != "" || *stats || *jsonOut {
 		opts.Recorder = yafim.NewRecorder()
 	}
@@ -85,8 +105,25 @@ func run() error {
 		cfg = cfg.WithNodes(*nodes)
 		opts.Cluster = &cfg
 	}
-	trace, err := yafim.Mine(db, *support, opts)
+	trace, err := yafim.MineContext(ctx, db, *support, opts)
 	if err != nil {
+		// A canceled or timed-out run still flushes the telemetry captured so
+		// far: the partial timeline is exactly what explains where the time
+		// went before the abort.
+		if yafim.IsCancellation(err) && opts.Recorder != nil {
+			if *traceOut != "" {
+				if werr := writeTrace(*traceOut, opts.Recorder); werr != nil {
+					fmt.Fprintln(os.Stderr, "yafim: partial trace:", werr)
+				} else {
+					fmt.Fprintln(os.Stderr, "yafim: partial trace written to", *traceOut)
+				}
+			}
+			if *stats {
+				if werr := yafim.WriteStageTable(os.Stderr, opts.Recorder); werr != nil {
+					fmt.Fprintln(os.Stderr, "yafim: partial stage table:", werr)
+				}
+			}
+		}
 		return err
 	}
 

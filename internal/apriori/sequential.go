@@ -32,6 +32,11 @@ type Options struct {
 	Counting CountingStrategy
 	// MaxK stops mining after frequent itemsets of this size (0 = unbounded).
 	MaxK int
+	// Interrupt, when non-nil, is called before every pass; a non-nil return
+	// aborts mining with that error. The facade uses it to honour context
+	// cancellation and deadlines on the single-machine engine, which has no
+	// task boundaries of its own.
+	Interrupt func() error
 }
 
 // Mine runs the classic sequential Apriori algorithm (Algorithm 1 of the
@@ -45,6 +50,11 @@ func Mine(db *itemset.DB, minSupport float64, opts Options) (*Result, error) {
 	}
 	minCount := db.MinSupportCount(minSupport)
 	res := &Result{MinSupport: minCount}
+	if opts.Interrupt != nil {
+		if err := opts.Interrupt(); err != nil {
+			return nil, fmt.Errorf("apriori: %w", err)
+		}
+	}
 
 	var vertical *itemset.VerticalBitmap
 	if opts.Counting == BitmapCounting {
@@ -59,6 +69,11 @@ func Mine(db *itemset.DB, minSupport float64, opts Options) (*Result, error) {
 
 	prev := setsOf(l1)
 	for k := 2; opts.MaxK == 0 || k <= opts.MaxK; k++ {
+		if opts.Interrupt != nil {
+			if err := opts.Interrupt(); err != nil {
+				return nil, fmt.Errorf("apriori: pass %d: %w", k, err)
+			}
+		}
 		cands, err := Gen(prev)
 		if err != nil {
 			return nil, err

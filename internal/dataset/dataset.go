@@ -26,14 +26,21 @@ func Stage(fs *dfs.FileSystem, path string, db *itemset.DB) (int64, error) {
 	return n, nil
 }
 
-// LoadFile reads a .dat transaction file from the local file system.
+// LoadFile reads a .dat transaction file from the local file system. Parse
+// failures carry file:line context and wrap the underlying cause (e.g. the
+// *strconv.NumError for a non-numeric token), so callers can both display a
+// precise location and inspect the cause with errors.As.
 func LoadFile(name, path string) (*itemset.DB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	defer f.Close()
-	return itemset.ReadDB(name, f)
+	db, err := itemset.ReadDB(name, f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: parsing %s: %w", path, err)
+	}
+	return db, nil
 }
 
 // SaveFile writes db to the local file system in .dat format.

@@ -1,7 +1,11 @@
 package dataset
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"yafim/internal/dfs"
@@ -59,5 +63,38 @@ func TestLoadFileErrors(t *testing.T) {
 	// Overwrite with malformed content via SaveFile path checks.
 	if err := SaveFile(sample(), filepath.Join(t.TempDir(), "no", "dir.dat")); err == nil {
 		t.Error("save into missing directory succeeded")
+	}
+}
+
+// TestLoadFileMalformed checks that parse failures carry file:line context
+// and wrap the underlying strconv cause instead of surfacing it bare.
+func TestLoadFileMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mangled.dat")
+	if err := os.WriteFile(path, []byte("1 2 3\n4 oops 6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile("mangled", path)
+	if err == nil {
+		t.Fatal("malformed file loaded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+	if !strings.Contains(msg, "mangled:2") || !strings.Contains(msg, `"oops"`) {
+		t.Errorf("error does not pinpoint line and token: %v", err)
+	}
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Errorf("strconv cause not wrapped: %v", err)
+	}
+
+	neg := filepath.Join(t.TempDir(), "neg.dat")
+	if err := os.WriteFile(neg, []byte("1 -7 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile("neg", neg)
+	if err == nil || !strings.Contains(err.Error(), "neg:1") {
+		t.Errorf("negative item error missing line context: %v", err)
 	}
 }

@@ -10,12 +10,14 @@
 package dfs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"yafim/internal/chaos"
+	"yafim/internal/exec"
 	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
@@ -182,6 +184,17 @@ func (fs *FileSystem) ReadFile(path string, led *sim.Ledger) ([]byte, error) {
 	return out, nil
 }
 
+// ReadFileContext is ReadFile with cooperative cancellation: a canceled or
+// expired context fails the read up front, before any bytes are charged to
+// the ledger, with an error matching exec.ErrCanceled or
+// exec.ErrDeadlineExceeded.
+func (fs *FileSystem) ReadFileContext(ctx context.Context, path string, led *sim.Ledger) ([]byte, error) {
+	if err := exec.ContextErr(ctx); err != nil {
+		return nil, fmt.Errorf("dfs: read %s: %w", path, err)
+	}
+	return fs.ReadFile(path, led)
+}
+
 // ReadRange returns length bytes of path starting at off. Short ranges at
 // end of file are truncated rather than erroring, matching HDFS semantics
 // for readers that probe past EOF. The ledger is charged for the bytes
@@ -233,6 +246,15 @@ func (fs *FileSystem) ReadRange(path string, off, length int64, led *sim.Ledger)
 		fs.recorder().AddBlockReadRetry()
 	}
 	return out, nil
+}
+
+// ReadRangeContext is ReadRange with cooperative cancellation, mirroring
+// ReadFileContext.
+func (fs *FileSystem) ReadRangeContext(ctx context.Context, path string, off, length int64, led *sim.Ledger) ([]byte, error) {
+	if err := exec.ContextErr(ctx); err != nil {
+		return nil, fmt.Errorf("dfs: read %s: %w", path, err)
+	}
+	return fs.ReadRange(path, off, length, led)
 }
 
 // Stat returns the size of path and the number of blocks it occupies.

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"bytes"
+	"context"
 
 	"yafim/internal/sim"
 )
@@ -25,6 +26,14 @@ const readAhead = 4096
 // lies at or before the split's end, extending past the boundary as needed.
 // Together the splits of a file yield every line exactly once.
 func (fs *FileSystem) ReadLines(split Split, led *sim.Ledger) ([]Line, error) {
+	return fs.ReadLinesContext(context.Background(), split, led)
+}
+
+// ReadLinesContext is ReadLines with cooperative cancellation: the context is
+// checked before the split's main range read and again before every
+// read-ahead chunk, so a canceled task stops within one chunk of extra I/O
+// even on records that span many blocks.
+func (fs *FileSystem) ReadLinesContext(ctx context.Context, split Split, led *sim.Ledger) ([]Line, error) {
 	size, _, err := fs.Stat(split.Path)
 	if err != nil {
 		return nil, err
@@ -37,7 +46,7 @@ func (fs *FileSystem) ReadLines(split Split, led *sim.Ledger) ([]Line, error) {
 	if start >= size || start >= end {
 		return nil, nil
 	}
-	buf, err := fs.ReadRange(split.Path, start, end-start, led)
+	buf, err := fs.ReadRangeContext(ctx, split.Path, start, end-start, led)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +73,7 @@ func (fs *FileSystem) ReadLines(split Split, led *sim.Ledger) ([]Line, error) {
 		}
 		nl := bytes.IndexByte(buf[pos:], '\n')
 		for nl < 0 && bufStart+int64(len(buf)) < size {
-			chunk, err := fs.ReadRange(split.Path, bufStart+int64(len(buf)), readAhead, led)
+			chunk, err := fs.ReadRangeContext(ctx, split.Path, bufStart+int64(len(buf)), readAhead, led)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,158 @@
+// Package exec is the execution-hardening layer shared by both engines (the
+// RDD engine and the MapReduce engine): the error taxonomy for the *real*
+// execution path — goroutine workers actually computing partitions — plus
+// cooperative cancellation and panic isolation helpers.
+//
+// The taxonomy has three layers:
+//
+//   - Sentinel errors (ErrCanceled, ErrDeadlineExceeded) classify why a run
+//     stopped early. They are wired for errors.Is and always wrap the
+//     triggering context error, so errors.Is(err, context.Canceled) keeps
+//     working too.
+//   - TaskError identifies one failed task attempt: which engine, stage,
+//     partition and attempt, and — when the failure was a panic in a user
+//     closure — the recovered panic value and stack. Panics are isolated per
+//     attempt and flow through the engines' ordinary retry machinery, so a
+//     transient panic retries like an injected fault while a deterministic
+//     one fails the job after the attempt limit.
+//   - StageError wraps everything a stage could not recover from, annotated
+//     with the stage's lineage so the failure names the dataset chain that
+//     produced it, the way a Spark driver reports a failed stage with its
+//     RDD dependency chain.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// ErrCanceled reports that a run was stopped by context cancellation (an
+// explicit cancel or a SIGINT/SIGTERM-driven one). Match with errors.Is.
+var ErrCanceled = errors.New("exec: canceled")
+
+// ErrDeadlineExceeded reports that a run outlived its deadline (a context
+// deadline or the facade's wall-clock watchdog). Match with errors.Is.
+var ErrDeadlineExceeded = errors.New("exec: deadline exceeded")
+
+// ContextErr reports the cancellation state of ctx as a sentinel-wrapped
+// error: nil while the context is live, otherwise ErrCanceled or
+// ErrDeadlineExceeded wrapping ctx.Err() so both the package sentinels and
+// the standard context errors match under errors.Is. A nil context is live.
+func ContextErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}
+
+// IsCancellation reports whether err classifies as a cooperative stop —
+// cancellation or deadline expiry — rather than a genuine task failure.
+// Engines use it to abort retry loops: retrying a canceled task only delays
+// the shutdown the caller asked for.
+func IsCancellation(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// CollapseCancellation returns one representative cancellation error from a
+// stage's per-task error slice. When a stage is canceled, every still-pending
+// task reports the same context error; joining them would print the identical
+// message once per task. Returns nil if no error classifies as cancellation.
+func CollapseCancellation(errs []error) error {
+	for _, err := range errs {
+		if err != nil && IsCancellation(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaskError is one failed task attempt: a panicking user closure converted
+// into a value (PanicValue and Stack set), or an ordinary failure cause
+// (Err set). It names the engine, stage, partition and attempt so a failure
+// deep inside a worker goroutine is attributable without a debugger.
+type TaskError struct {
+	Engine  string // "rdd" or "mapreduce"
+	Stage   string
+	Part    int
+	Attempt int
+
+	// PanicValue and Stack are set when the attempt panicked; the goroutine
+	// recovered and the panic became this error instead of killing the
+	// process.
+	PanicValue any
+	Stack      []byte
+
+	// Err is the ordinary failure cause when the attempt returned an error.
+	Err error
+}
+
+func (e *TaskError) Error() string {
+	if e.Panicked() {
+		return fmt.Sprintf("%s: stage %q partition %d attempt %d panicked: %v",
+			e.Engine, e.Stage, e.Part, e.Attempt, e.PanicValue)
+	}
+	return fmt.Sprintf("%s: stage %q partition %d attempt %d failed: %v",
+		e.Engine, e.Stage, e.Part, e.Attempt, e.Err)
+}
+
+// Unwrap exposes the ordinary failure cause (nil for a panic).
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Panicked reports whether this attempt died by panic rather than by
+// returning an error.
+func (e *TaskError) Panicked() bool { return e.PanicValue != nil }
+
+// Guard runs one task attempt with panic isolation: a panic in fn is
+// recovered and returned as a *TaskError carrying the panic value and stack,
+// so one crashing closure fails one attempt instead of the whole process.
+// An ordinary error from fn is returned unchanged.
+func Guard(engine, stage string, part, attempt int, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &TaskError{
+				Engine: engine, Stage: stage, Part: part, Attempt: attempt,
+				PanicValue: v, Stack: debug.Stack(),
+			}
+		}
+	}()
+	return fn()
+}
+
+// StageError is a stage that could not complete: every permitted attempt of
+// at least one task failed, or the run was canceled at this stage boundary.
+// Lineage names the dataset dependency chain that fed the stage (nearest
+// first), mirroring how a Spark driver reports a failed stage.
+type StageError struct {
+	Engine   string
+	Stage    string
+	Attempts int      // attempt limit in force (0 when the stage never ran)
+	Lineage  []string // dependency chain, nearest ancestor first
+	Err      error
+}
+
+func (e *StageError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: stage %q failed", e.Engine, e.Stage)
+	if e.Attempts > 0 {
+		fmt.Fprintf(&sb, " after %d attempts", e.Attempts)
+	}
+	if len(e.Lineage) > 0 {
+		fmt.Fprintf(&sb, " (lineage %s)", strings.Join(e.Lineage, " <- "))
+	}
+	fmt.Fprintf(&sb, ": %v", e.Err)
+	return sb.String()
+}
+
+func (e *StageError) Unwrap() error { return e.Err }

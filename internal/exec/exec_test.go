@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextErrLive(t *testing.T) {
+	if err := ContextErr(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	if err := ContextErr(nil); err != nil {
+		t.Fatalf("nil context: %v", err)
+	}
+}
+
+func TestContextErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ContextErr(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled to match too, got %v", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("cancellation must not match ErrDeadlineExceeded: %v", err)
+	}
+	if !IsCancellation(err) {
+		t.Fatalf("IsCancellation(%v) = false", err)
+	}
+}
+
+func TestContextErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	err := ContextErr(ctx)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded to match too, got %v", err)
+	}
+	if !IsCancellation(err) {
+		t.Fatalf("IsCancellation(%v) = false", err)
+	}
+}
+
+func TestIsCancellationRejectsOrdinaryErrors(t *testing.T) {
+	if IsCancellation(errors.New("boom")) {
+		t.Fatal("ordinary error classified as cancellation")
+	}
+	if IsCancellation(nil) {
+		t.Fatal("nil classified as cancellation")
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	err := Guard("rdd", "matchC3", 7, 2, func() error { panic("candidate explosion") })
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TaskError, got %v", err)
+	}
+	if !te.Panicked() {
+		t.Fatal("Panicked() = false for a recovered panic")
+	}
+	if te.Engine != "rdd" || te.Stage != "matchC3" || te.Part != 7 || te.Attempt != 2 {
+		t.Fatalf("wrong identity: %+v", te)
+	}
+	if te.PanicValue != "candidate explosion" {
+		t.Fatalf("wrong panic value: %v", te.PanicValue)
+	}
+	if len(te.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if !strings.Contains(te.Error(), "panicked") || !strings.Contains(te.Error(), "matchC3") {
+		t.Fatalf("unhelpful message: %v", te)
+	}
+}
+
+func TestGuardPassesThroughErrors(t *testing.T) {
+	base := errors.New("disk on fire")
+	if err := Guard("mapreduce", "map", 0, 1, func() error { return base }); err != base {
+		t.Fatalf("want the original error, got %v", err)
+	}
+	if err := Guard("mapreduce", "map", 0, 1, func() error { return nil }); err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+}
+
+func TestStageErrorMessageAndUnwrap(t *testing.T) {
+	cause := errors.New("task 3 failed")
+	err := &StageError{
+		Engine: "rdd", Stage: "countC2", Attempts: 4,
+		Lineage: []string{"countC2", "matchC2", "transactions"},
+		Err:     cause,
+	}
+	msg := err.Error()
+	for _, want := range []string{"rdd", "countC2", "4 attempts", "matchC2 <- transactions", "task 3 failed"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("StageError does not unwrap to its cause")
+	}
+}
+
+func TestStageErrorCancellationChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := &StageError{Engine: "rdd", Stage: "collect", Err: ContextErr(ctx)}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancellation does not survive StageError wrapping: %v", err)
+	}
+}

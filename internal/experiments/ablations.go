@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,16 +28,16 @@ func (a *Ablation) Benefit() float64 {
 
 // RunBroadcastAblation compares broadcast variables (§IV-C) against naive
 // per-task shipping of the candidate hash tree.
-func RunBroadcastAblation(b Benchmark, env Env) (*Ablation, error) {
+func RunBroadcastAblation(ctx context.Context, b Benchmark, env Env) (*Ablation, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
-	withBC, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	withBC, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: broadcast ablation: %w", err)
 	}
-	withoutBC, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+	withoutBC, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark),
 		yafim.Config{}, rdd.WithoutBroadcast())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: broadcast ablation: %w", err)
@@ -52,16 +53,16 @@ func RunBroadcastAblation(b Benchmark, env Env) (*Ablation, error) {
 
 // RunCacheAblation compares the cached transactions RDD (§IV-B) against
 // re-reading the input from the DFS on every pass.
-func RunCacheAblation(b Benchmark, env Env) (*Ablation, error) {
+func RunCacheAblation(ctx context.Context, b Benchmark, env Env) (*Ablation, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
-	cached, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	cached, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cache ablation: %w", err)
 	}
-	uncached, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+	uncached, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark),
 		yafim.Config{DisableCache: true})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cache ablation: %w", err)
@@ -77,16 +78,16 @@ func RunCacheAblation(b Benchmark, env Env) (*Ablation, error) {
 
 // RunHashTreeAblation compares hash-tree candidate matching (§IV-A) against
 // a brute-force scan of every candidate per transaction.
-func RunHashTreeAblation(b Benchmark, env Env) (*Ablation, error) {
+func RunHashTreeAblation(ctx context.Context, b Benchmark, env Env) (*Ablation, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
-	tree, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	tree, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hash-tree ablation: %w", err)
 	}
-	brute, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+	brute, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark),
 		yafim.Config{BruteForceMatching: true})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hash-tree ablation: %w", err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -96,17 +97,17 @@ func crashPlan(p ChaosParams, nodes int, faultFree time.Duration) *chaos.Plan {
 // recovery overheads quantify the paper's fault-tolerance argument: YAFIM's
 // lineage recompute against MapReduce's full task re-execution and per-job
 // restart costs.
-func RunChaos(b Benchmark, env Env, p ChaosParams) (*ChaosComparison, error) {
+func RunChaos(ctx context.Context, b Benchmark, env Env, p ChaosParams) (*ChaosComparison, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
 
-	yBase, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	yBase, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: chaos %s: yafim baseline: %w", b.Name, err)
 	}
-	mBase, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+	mBase, _, err := RunMRApriori(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 		mrapriori.Config{}, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: chaos %s: mrapriori baseline: %w", b.Name, err)
@@ -117,7 +118,7 @@ func RunChaos(b Benchmark, env Env, p ChaosParams) (*ChaosComparison, error) {
 
 	yRec := obs.New()
 	yPlan := crashPlan(p, env.Spark.Nodes, yBase.TotalDuration())
-	yChaos, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{},
+	yChaos, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{},
 		rdd.WithRecorder(yRec), rdd.WithChaos(yPlan))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: chaos %s: yafim chaotic: %w", b.Name, err)
@@ -128,7 +129,7 @@ func RunChaos(b Benchmark, env Env, p ChaosParams) (*ChaosComparison, error) {
 
 	mRec := obs.New()
 	mPlan := crashPlan(p, env.Hadoop.Nodes, mBase.TotalDuration())
-	mChaos, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+	mChaos, _, err := RunMRApriori(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 		mrapriori.Config{}, mRec, mPlan)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: chaos %s: mrapriori chaotic: %w", b.Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestRunChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := RunChaos(b, testEnv(), DefaultChaosParams(7))
+	c, err := RunChaos(context.Background(), b, testEnv(), DefaultChaosParams(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestRunChaosDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := RunChaos(b, testEnv(), DefaultChaosParams(42))
+	a, err := RunChaos(context.Background(), b, testEnv(), DefaultChaosParams(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bb, err := RunChaos(b, testEnv(), DefaultChaosParams(42))
+	bb, err := RunChaos(context.Background(), b, testEnv(), DefaultChaosParams(42))
 	if err != nil {
 		t.Fatal(err)
 	}

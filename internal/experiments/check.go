@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -18,14 +19,14 @@ type ClaimCheck struct {
 // claim of the paper — the same properties the test suite enforces, but as
 // a user-facing report. It returns one check per claim; an error means an
 // experiment could not run at all.
-func RunShapeChecks(env Env) ([]ClaimCheck, error) {
+func RunShapeChecks(ctx context.Context, env Env) ([]ClaimCheck, error) {
 	var checks []ClaimCheck
 	add := func(claim string, pass bool, detail string, args ...any) {
 		checks = append(checks, ClaimCheck{Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
 	}
 
 	// Fig. 3 + summary: YAFIM wins every pass, order-of-magnitude totals.
-	summary, err := RunSummary(env)
+	summary, err := RunSummary(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +57,7 @@ func RunShapeChecks(env Env) ([]ClaimCheck, error) {
 
 	// Fig. 4: MRApriori's slope much steeper than YAFIM's.
 	for _, b := range PaperBenchmarks() {
-		s, err := RunSizeup(b, env, []int{1, 3, 6})
+		s, err := RunSizeup(ctx, b, env, []int{1, 3, 6})
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +70,7 @@ func RunShapeChecks(env Env) ([]ClaimCheck, error) {
 
 	// Fig. 5: YAFIM speeds up monotonically with nodes.
 	for _, b := range PaperBenchmarks() {
-		s, err := RunSpeedup(b, env, []int{4, 8, 12}, 6)
+		s, err := RunSpeedup(ctx, b, env, []int{4, 8, 12}, 6)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +88,7 @@ func RunShapeChecks(env Env) ([]ClaimCheck, error) {
 	}
 
 	// Fig. 6: medical application.
-	med, err := RunComparison(MedicalBenchmark(), env)
+	med, err := RunComparison(ctx, MedicalBenchmark(), env)
 	if err != nil {
 		return nil, err
 	}

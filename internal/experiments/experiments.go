@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"yafim/internal/dataset"
 	"yafim/internal/dfs"
 	"yafim/internal/disteclat"
+	"yafim/internal/exec"
 	"yafim/internal/itemset"
 	"yafim/internal/mapreduce"
 	"yafim/internal/mrapriori"
@@ -100,15 +102,16 @@ func (e Env) tasks(cfg cluster.Config) int {
 // RunYAFIM stages db into a fresh DFS and mines it with YAFIM on the given
 // cluster, returning the trace and the driver context (for cost inspection).
 // Pass rdd.WithRecorder to capture telemetry; the recorder is also attached
-// to the DFS so input I/O is counted.
-func RunYAFIM(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+// to the DFS so input I/O is counted. goCtx cancels the run cooperatively at
+// the next task boundary (pass context.Background() to run to completion).
+func RunYAFIM(goCtx context.Context, db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	mineCfg yafim.Config, opts ...rdd.Option) (*apriori.Trace, *rdd.Context, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
 		return nil, nil, err
 	}
-	ctx, err := rdd.NewContext(cfg, opts...)
+	ctx, err := rdd.NewContext(cfg, append([]rdd.Option{rdd.WithContext(goCtx)}, opts...)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -126,14 +129,14 @@ func RunYAFIM(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 
 // RunDistEclat stages db into a fresh DFS and mines it with Dist-Eclat on
 // the given cluster. Pass rdd.WithRecorder to capture telemetry.
-func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+func RunDistEclat(goCtx context.Context, db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	opts ...rdd.Option) (*apriori.Trace, *rdd.Context, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
 	if _, err := dataset.Stage(fs, path, db); err != nil {
 		return nil, nil, err
 	}
-	ctx, err := rdd.NewContext(cfg, opts...)
+	ctx, err := rdd.NewContext(cfg, append([]rdd.Option{rdd.WithContext(goCtx)}, opts...)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -152,7 +155,7 @@ func RunDistEclat(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 // implementation on the given cluster. rec (may be nil) captures telemetry
 // from the runner and the DFS; plan (may be nil) injects the chaos fault
 // plan into the runner and the DFS.
-func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+func RunMRApriori(ctx context.Context, db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	mineCfg mrapriori.Config, rec *obs.Recorder, plan *chaos.Plan) (*apriori.Trace, *mapreduce.Runner, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
@@ -174,7 +177,7 @@ func RunMRApriori(db *itemset.DB, support float64, cfg cluster.Config, tasks int
 	if mineCfg.NumMapTasks == 0 {
 		mineCfg.NumMapTasks = tasks
 	}
-	trace, err := mrapriori.Mine(runner, fs, path, "/work", mineCfg)
+	trace, err := mrapriori.MineContext(ctx, runner, fs, path, "/work", mineCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -202,16 +205,16 @@ func (c *Comparison) Speedup() float64 {
 
 // RunComparison mines one benchmark with both engines and verifies they
 // found exactly the same frequent itemsets, returning the paired traces.
-func RunComparison(b Benchmark, env Env) (*Comparison, error) {
+func RunComparison(ctx context.Context, b Benchmark, env Env) (*Comparison, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
-	yTrace, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	yTrace, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: yafim: %w", b.Name, err)
 	}
-	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil, nil)
+	mTrace, _, err := RunMRApriori(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: mrapriori: %w", b.Name, err)
 	}
@@ -274,10 +277,13 @@ func (s *Summary) AverageSpeedup() float64 {
 }
 
 // RunSummary runs the full Fig. 3 comparison suite.
-func RunSummary(env Env) (*Summary, error) {
+func RunSummary(ctx context.Context, env Env) (*Summary, error) {
 	s := &Summary{}
 	for _, b := range PaperBenchmarks() {
-		c, err := RunComparison(b, env)
+		if err := exec.ContextErr(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: summary: %w", err)
+		}
+		c, err := RunComparison(ctx, b, env)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +304,7 @@ type Sizeup struct {
 
 // RunSizeup replicates the benchmark dataset by each factor and mines it
 // with both engines on a 48-core slice of the paper clusters.
-func RunSizeup(b Benchmark, env Env, replications []int) (*Sizeup, error) {
+func RunSizeup(ctx context.Context, b Benchmark, env Env, replications []int) (*Sizeup, error) {
 	base, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
@@ -307,12 +313,15 @@ func RunSizeup(b Benchmark, env Env, replications []int) (*Sizeup, error) {
 	hadoop := env.Hadoop.WithTotalCores(48)
 	out := &Sizeup{Dataset: b.Name, Replications: replications}
 	for _, times := range replications {
+		if err := exec.ContextErr(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: sizeup %s: %w", b.Name, err)
+		}
 		db := base.Replicate(times)
-		yTrace, _, err := RunYAFIM(db, b.Support, spark, env.tasks(spark), yafim.Config{})
+		yTrace, _, err := RunYAFIM(ctx, db, b.Support, spark, env.tasks(spark), yafim.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}
-		mTrace, _, err := RunMRApriori(db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{}, nil, nil)
+		mTrace, _, err := RunMRApriori(ctx, db, b.Support, hadoop, env.tasks(hadoop), mrapriori.Config{}, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sizeup %s x%d: %w", b.Name, times, err)
 		}
@@ -351,7 +360,7 @@ func (s *Speedup) Relative() []float64 {
 // given factor first so that per-pass compute is large enough for node
 // scaling to be visible above fixed scheduling overheads (replicate <= 1
 // mines the base dataset).
-func RunSpeedup(b Benchmark, env Env, nodes []int, replicate int) (*Speedup, error) {
+func RunSpeedup(ctx context.Context, b Benchmark, env Env, nodes []int, replicate int) (*Speedup, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
@@ -361,8 +370,11 @@ func RunSpeedup(b Benchmark, env Env, nodes []int, replicate int) (*Speedup, err
 	}
 	out := &Speedup{Dataset: b.Name, Nodes: nodes}
 	for _, n := range nodes {
+		if err := exec.ContextErr(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: speedup %s: %w", b.Name, err)
+		}
 		cfg := env.Spark.WithNodes(n)
-		trace, _, err := RunYAFIM(db, b.Support, cfg, env.tasks(cfg), yafim.Config{})
+		trace, _, err := RunYAFIM(ctx, db, b.Support, cfg, env.tasks(cfg), yafim.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: speedup %s %dn: %w", b.Name, n, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func TestFig3Shape(t *testing.T) {
 	for _, b := range PaperBenchmarks() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			c, err := RunComparison(b, env)
+			c, err := RunComparison(context.Background(), b, env)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +108,7 @@ func TestFig4Shape(t *testing.T) {
 	// Pumsb_star is the data-heaviest planted benchmark, where the growth
 	// contrast is most visible.
 	env.Scale = 0.2
-	s, err := RunSizeup(PaperBenchmarks()[3], env, []int{1, 3, 6})
+	s, err := RunSizeup(context.Background(), PaperBenchmarks()[3], env, []int{1, 3, 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig5Shape(t *testing.T) {
 	}
 	env := testEnv()
 	env.Scale = 0.2 // enough work for scaling to show
-	s, err := RunSpeedup(PaperBenchmarks()[3], env, []int{4, 8, 12}, 6)
+	s, err := RunSpeedup(context.Background(), PaperBenchmarks()[3], env, []int{4, 8, 12}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFig6Shape(t *testing.T) {
 		t.Skip("heavy experiment test")
 	}
 	env := testEnv()
-	c, err := RunComparison(MedicalBenchmark(), env)
+	c, err := RunComparison(context.Background(), MedicalBenchmark(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSummaryAverage(t *testing.T) {
 		t.Skip("heavy experiment test")
 	}
 	env := testEnv()
-	s, err := RunSummary(env)
+	s, err := RunSummary(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestAblations(t *testing.T) {
 	cases := []struct {
 		name string
 		b    Benchmark
-		run  func(Benchmark, Env) (*Ablation, error)
+		run  func(context.Context, Benchmark, Env) (*Ablation, error)
 	}{
 		{"broadcast", PaperBenchmarks()[0], RunBroadcastAblation},
 		{"rdd-cache", PaperBenchmarks()[0], RunCacheAblation},
@@ -226,7 +227,7 @@ func TestAblations(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			b := c.b
-			a, err := c.run(b, env)
+			a, err := c.run(context.Background(), b, env)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -271,7 +272,7 @@ func TestVariants(t *testing.T) {
 	env := testEnv()
 	// Few, large chunks keep SON's local mining thresholds meaningful.
 	env.Tasks = 8
-	v, err := RunVariants(PaperBenchmarks()[0], env)
+	v, err := RunVariants(context.Background(), PaperBenchmarks()[0], env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestVariantsSkipsExplosiveSON(t *testing.T) {
 	}
 	env := testEnv()
 	env.Tasks = 0 // default 192 tasks -> ~2-transaction chunks at this scale
-	v, err := RunVariants(PaperBenchmarks()[0], env)
+	v, err := RunVariants(context.Background(), PaperBenchmarks()[0], env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestShapeChecksAllPass(t *testing.T) {
 		t.Skip("heavy experiment test")
 	}
 	env := testEnv() // scale 0.05 keeps the full sweep in the tens of seconds
-	checks, err := RunShapeChecks(env)
+	checks, err := RunShapeChecks(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

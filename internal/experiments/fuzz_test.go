@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -43,11 +44,11 @@ func FuzzChaosMiningInvariant(f *testing.F) {
 			t.Fatal(err)
 		}
 
-		yBase, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+		yBase, _, err := RunYAFIM(context.Background(), db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		mBase, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		mBase, _, err := RunMRApriori(context.Background(), db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 			mrapriori.Config{}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -74,7 +75,7 @@ func FuzzChaosMiningInvariant(f *testing.F) {
 		}
 
 		yPlan := makePlan(env.Spark.Nodes, yBase.TotalDuration())
-		yChaos, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+		yChaos, _, err := RunYAFIM(context.Background(), db, b.Support, env.Spark, env.tasks(env.Spark),
 			yafim.Config{}, rdd.WithChaos(yPlan))
 		if err != nil {
 			t.Fatal(err)
@@ -84,7 +85,7 @@ func FuzzChaosMiningInvariant(f *testing.F) {
 		}
 
 		mPlan := makePlan(env.Hadoop.Nodes, mBase.TotalDuration())
-		mChaos, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		mChaos, _, err := RunMRApriori(context.Background(), db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 			mrapriori.Config{}, obs.New(), mPlan)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"yafim/internal/apriori"
@@ -23,21 +24,21 @@ type ObservedRun struct {
 // RunObserved mines the benchmark once with YAFIM and once with the
 // MapReduce comparator, each with a fresh telemetry recorder attached, and
 // verifies the two engines agree before returning both runs.
-func RunObserved(b Benchmark, env Env) ([]ObservedRun, error) {
+func RunObserved(ctx context.Context, b Benchmark, env Env) ([]ObservedRun, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
 	}
 
 	yRec := obs.New()
-	yTrace, _, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark),
+	yTrace, _, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark),
 		yafim.Config{}, rdd.WithRecorder(yRec))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: observed %s: yafim: %w", b.Name, err)
 	}
 
 	mRec := obs.New()
-	mTrace, _, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+	mTrace, _, err := RunMRApriori(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 		mrapriori.Config{}, mRec, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: observed %s: mapreduce: %w", b.Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -39,7 +40,7 @@ type Variants struct {
 
 // RunVariants mines the benchmark with every strategy and verifies all of
 // them produce identical frequent itemsets.
-func RunVariants(b Benchmark, env Env) (*Variants, error) {
+func RunVariants(ctx context.Context, b Benchmark, env Env) (*Variants, error) {
 	db, err := b.Gen(env.Scale, env.Seed)
 	if err != nil {
 		return nil, err
@@ -58,7 +59,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 	}
 
 	// YAFIM on the Spark profile.
-	yTrace, yCtx, err := RunYAFIM(db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
+	yTrace, yCtx, err := RunYAFIM(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), yafim.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: variants %s: yafim: %w", b.Name, err)
 	}
@@ -68,7 +69,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 
 	// Dist-Eclat on the Spark profile: vertical mining in a fixed number of
 	// jobs.
-	dTrace, dCtx, err := RunDistEclat(db, b.Support, env.Spark, env.tasks(env.Spark))
+	dTrace, dCtx, err := RunDistEclat(ctx, db, b.Support, env.Spark, env.tasks(env.Spark))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: variants %s: disteclat: %w", b.Name, err)
 	}
@@ -78,7 +79,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 
 	// The MapReduce family on the Hadoop profile.
 	for _, v := range []mrapriori.Variant{mrapriori.SPC, mrapriori.FPC, mrapriori.DPC} {
-		trace, runner, err := RunMRApriori(db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
+		trace, runner, err := RunMRApriori(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop),
 			mrapriori.Config{Variant: v}, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: variants %s: %v: %w", b.Name, v, err)
@@ -102,7 +103,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 		})
 		return out, nil
 	}
-	sonTrace, sonRunner, err := RunSON(db, b.Support, env.Hadoop, env.tasks(env.Hadoop), nil)
+	sonTrace, sonRunner, err := RunSON(ctx, db, b.Support, env.Hadoop, env.tasks(env.Hadoop), nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: variants %s: son: %w", b.Name, err)
 	}
@@ -114,7 +115,7 @@ func RunVariants(b Benchmark, env Env) (*Variants, error) {
 
 // RunSON stages db into a fresh DFS and mines it with the one-phase SON
 // algorithm on the given cluster. rec (may be nil) captures telemetry.
-func RunSON(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+func RunSON(ctx context.Context, db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	rec *obs.Recorder) (*apriori.Trace, *mapreduce.Runner, error) {
 	fs := dfs.New(cfg.Nodes)
 	path := stagePath(db.Name)
@@ -127,7 +128,7 @@ func RunSON(db *itemset.DB, support float64, cfg cluster.Config, tasks int,
 	}
 	runner.SetRecorder(rec)
 	fs.SetRecorder(rec)
-	trace, err := son.Mine(runner, fs, path, "/work", son.Config{
+	trace, err := son.MineContext(ctx, runner, fs, path, "/work", son.Config{
 		MinSupport:  support,
 		NumMapTasks: tasks,
 	})

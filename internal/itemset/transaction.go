@@ -198,8 +198,11 @@ func ReadDB(name string, r io.Reader) (*DB, error) {
 		row := make([]Item, 0, len(fields))
 		for _, f := range fields {
 			v, err := strconv.ParseInt(f, 10, 32)
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("itemset: %s:%d: bad item %q", name, line, f)
+			if err != nil {
+				return nil, fmt.Errorf("itemset: %s:%d: bad item %q: %w", name, line, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("itemset: %s:%d: bad item %q: negative item id", name, line, f)
 			}
 			row = append(row, Item(v))
 		}

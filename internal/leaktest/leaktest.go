@@ -1,0 +1,60 @@
+// Package leaktest asserts that a test leaves no goroutines behind. The
+// execution hardening work guarantees every exit path — success, failure,
+// panic recovery, cancellation, deadline — joins all of its worker
+// goroutines; these checks are how the test suite enforces that guarantee.
+package leaktest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function that
+// asserts the count has returned to (at most) the snapshot. Deferred at the
+// top of a test:
+//
+//	defer leaktest.Check(t)()
+//
+// The returned func polls briefly before failing, since goroutines that have
+// finished their work may still be mid-exit when the test body returns. On
+// failure it dumps all goroutine stacks, filtered of runtime internals, so
+// the leaked worker is identifiable.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, stacks())
+		}
+	}
+}
+
+// stacks renders every goroutine's stack, dropping the testing harness's own
+// goroutines to keep the dump readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var keep []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "testing.(*T).Run") ||
+			strings.Contains(g, "testing.Main") ||
+			strings.Contains(g, "runtime.goexit") && strings.Count(g, "\n") <= 2 {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return strings.Join(keep, "\n\n")
+}

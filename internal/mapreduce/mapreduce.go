@@ -12,6 +12,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -19,11 +20,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yafim/internal/chaos"
 	"yafim/internal/cluster"
 	"yafim/internal/dfs"
+	"yafim/internal/exec"
 	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
@@ -210,8 +213,21 @@ type mapOutput struct {
 
 // Run executes the job and returns its virtual-time report and counters.
 func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
+	return r.RunContext(context.Background(), job)
+}
+
+// RunContext is Run with cooperative cancellation: a canceled or expired
+// context aborts the job at the next task boundary, returning an error
+// matching exec.ErrCanceled or exec.ErrDeadlineExceeded. As with a killed
+// Hadoop job, committed output of completed stages stays in the DFS; no
+// worker goroutines outlive the call.
+func (r *Runner) RunContext(ctx context.Context, job Job) (*sim.JobReport, *Counters, error) {
 	if err := validateJob(job); err != nil {
 		return nil, nil, err
+	}
+	if err := exec.ContextErr(ctx); err != nil {
+		r.rec.AddCancellations(1)
+		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
 	}
 	report := &sim.JobReport{Name: job.Name, Overhead: r.cfg.JobStartup}
 	counters := &Counters{}
@@ -225,7 +241,7 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 		r.mu.Unlock()
 	}()
 
-	cache, cacheTime, err := r.loadCache(job.CacheFiles)
+	cache, cacheTime, err := r.loadCache(ctx, job.CacheFiles)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: distributed cache: %w", job.Name, err)
 	}
@@ -240,7 +256,7 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 	// any DFS repair); the map stage simply never schedules on the dead node.
 	r.maybeCrash(report)
 
-	outputs, mapCosts, mapPlacements, mapStage, err := r.runMapStage(job, splits, cache, counters)
+	outputs, mapCosts, mapPlacements, mapStage, err := r.runMapStage(ctx, job, splits, cache, counters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: map stage: %w", job.Name, err)
 	}
@@ -256,7 +272,7 @@ func (r *Runner) Run(job Job) (*sim.JobReport, *Counters, error) {
 		}
 	}
 
-	reduceStage, err := r.runReduceStage(job, outputs, mapCosts, cache, counters)
+	reduceStage, err := r.runReduceStage(ctx, job, outputs, mapCosts, cache, counters)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: reduce stage: %w", job.Name, err)
 	}
@@ -288,11 +304,11 @@ func validateJob(job Job) error {
 // loadCache reads the distributed-cache files and returns the virtual time
 // to localise them: every node pulls each file from the DFS once (disk read
 // at the source plus one network hop), all nodes in parallel.
-func (r *Runner) loadCache(paths []string) (CacheFiles, time.Duration, error) {
+func (r *Runner) loadCache(ctx context.Context, paths []string) (CacheFiles, time.Duration, error) {
 	cache := make(CacheFiles, len(paths))
 	var d time.Duration
 	for _, p := range paths {
-		data, err := r.fs.ReadFile(p, nil)
+		data, err := r.fs.ReadFileContext(ctx, p, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -319,7 +335,7 @@ func (r *Runner) collectSplits(inputs []string, mapTasks int) ([]dfs.Split, erro
 	return splits, nil
 }
 
-func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
+func (r *Runner) runMapStage(ctx context.Context, job Job, splits []dfs.Split, cache CacheFiles,
 	counters *Counters) ([]*mapOutput, []sim.Cost, []sim.TaskPlacement, sim.StageReport, error) {
 	outputs := make([]*mapOutput, len(splits))
 	// Per-task counter snapshots, overwritten on retry and summed only after
@@ -330,12 +346,12 @@ func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
 	emitRecs := make([]int64, len(splits))
 	combRecs := make([]int64, len(splits))
 
-	costs, wasted, attempts, err := r.forEach("map", job.Name+":map", len(splits), func(t int, led *sim.Ledger) error {
+	costs, wasted, attempts, err := r.forEach(ctx, "map", job.Name+":map", len(splits), func(t int, led *sim.Ledger) error {
 		mapper := job.NewMapper()
 		if err := mapper.Setup(cache, led); err != nil {
 			return fmt.Errorf("task %d setup: %w", t, err)
 		}
-		lines, err := r.fs.ReadLines(splits[t], led)
+		lines, err := r.fs.ReadLinesContext(ctx, splits[t], led)
 		if err != nil {
 			return fmt.Errorf("task %d read: %w", t, err)
 		}
@@ -425,13 +441,13 @@ func (r *Runner) runMapStage(job Job, splits []dfs.Split, cache CacheFiles,
 	return outputs, costs, placements, rep, nil
 }
 
-func (r *Runner) runReduceStage(job Job, outputs []*mapOutput, mapCosts []sim.Cost,
+func (r *Runner) runReduceStage(ctx context.Context, job Job, outputs []*mapOutput, mapCosts []sim.Cost,
 	cache CacheFiles, counters *Counters) (sim.StageReport, error) {
 	groups := make([]int64, job.NumReducers)
 	outRecs := make([]int64, job.NumReducers)
 	shuffleBytes := make([]int64, job.NumReducers)
 
-	costs, wasted, attempts, err := r.forEach("reduce", job.Name+":reduce", job.NumReducers, func(p int, led *sim.Ledger) error {
+	costs, wasted, attempts, err := r.forEach(ctx, "reduce", job.Name+":reduce", job.NumReducers, func(p int, led *sim.Ledger) error {
 		reducer := job.NewReducer()
 		if err := reducer.Setup(cache, led); err != nil {
 			return fmt.Errorf("reducer %d setup: %w", p, err)
@@ -559,11 +575,17 @@ func (r *Runner) recordStage(rep sim.StageReport, placed []sim.Placed,
 // wasted and retried; injection never touches the last permitted attempt,
 // keeping jobs degradable but not failable. stage is the FailTaskOnce key
 // ("map"/"reduce"), domain the job-qualified chaos decision domain.
-func (r *Runner) forEach(stage, domain string, n int, fn func(i int, led *sim.Ledger) error) (costs, wasted []sim.Cost, attempts []int, err error) {
+//
+// A panic in fn is recovered into a typed *exec.TaskError and retried like
+// any transient fault; a canceled context aborts each task at its next
+// attempt boundary without retrying. A stage that cannot complete returns an
+// *exec.StageError wrapping every task's terminal failure.
+func (r *Runner) forEach(ctx context.Context, stage, domain string, n int, fn func(i int, led *sim.Ledger) error) (costs, wasted []sim.Cost, attempts []int, err error) {
 	costs = make([]sim.Cost, n)
 	wasted = make([]sim.Cost, n)
 	attempts = make([]int, n)
 	errs := make([]error, n)
+	var panics int64
 	sem := make(chan struct{}, r.parallelism)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -574,26 +596,53 @@ func (r *Runner) forEach(stage, domain string, n int, fn func(i int, led *sim.Le
 			defer func() { <-sem }()
 			var lastErr error
 			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+				if cerr := exec.ContextErr(ctx); cerr != nil {
+					errs[i] = cerr
+					return
+				}
 				attempts[i] = attempt
 				led := &sim.Ledger{}
 				if r.shouldFail(stage, i) {
 					lastErr = &TransientError{Stage: stage, Task: i}
-				} else if lastErr = fn(i, led); lastErr == nil &&
+				} else if lastErr = exec.Guard("mapreduce", domain, i, attempt,
+					func() error { return fn(i, led) }); lastErr == nil &&
 					attempt < maxTaskAttempts && r.plan.TaskFails(domain, i, attempt) {
 					lastErr = &chaos.InjectedError{Stage: domain, Task: i, Attempt: attempt}
+				}
+				var te *exec.TaskError
+				if errors.As(lastErr, &te) && te.Panicked() {
+					atomic.AddInt64(&panics, 1)
 				}
 				if lastErr == nil {
 					costs[i] = led.Total()
 					return
 				}
+				if exec.IsCancellation(lastErr) {
+					// The task observed the cancellation itself; stop without
+					// retrying — retries only delay the shutdown.
+					errs[i] = lastErr
+					return
+				}
 				wasted[i] = wasted[i].Add(led.Total())
 			}
-			errs[i] = fmt.Errorf("mapreduce: task %d failed after %d attempts: %w",
+			errs[i] = fmt.Errorf("task %d failed after %d attempts: %w",
 				i, maxTaskAttempts, lastErr)
 		}(i)
 	}
 	wg.Wait()
-	return costs, wasted, attempts, errors.Join(errs...)
+	r.rec.AddTaskPanics(panics)
+	if join := errors.Join(errs...); join != nil {
+		// One representative cancellation instead of the join: every aborted
+		// task carries the same context error, and Join would print it once
+		// per task.
+		if cause := exec.CollapseCancellation(errs); cause != nil {
+			r.rec.AddCancellations(1)
+			return costs, wasted, attempts, &exec.StageError{Engine: "mapreduce", Stage: domain, Err: cause}
+		}
+		return costs, wasted, attempts, &exec.StageError{Engine: "mapreduce", Stage: domain,
+			Attempts: maxTaskAttempts, Err: join}
+	}
+	return costs, wasted, attempts, nil
 }
 
 func nLogN(n int64) float64 {

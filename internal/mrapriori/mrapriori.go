@@ -14,6 +14,7 @@
 package mrapriori
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 
 	"yafim/internal/apriori"
 	"yafim/internal/dfs"
+	"yafim/internal/exec"
 	"yafim/internal/itemset"
 	"yafim/internal/mapreduce"
 	"yafim/internal/sim"
@@ -76,6 +78,15 @@ type Config struct {
 // inputPath, staging intermediate files under workDir in the DFS.
 func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
 	cfg Config) (*apriori.Trace, error) {
+	return MineContext(context.Background(), runner, fs, inputPath, workDir, cfg)
+}
+
+// MineContext is Mine with cooperative cancellation: the context is checked
+// between passes and inside every MapReduce job, so a cancel or deadline
+// stops the k-phase iteration within one task boundary with an error
+// matching exec.ErrCanceled or exec.ErrDeadlineExceeded.
+func MineContext(ctx context.Context, runner *mapreduce.Runner, fs *dfs.FileSystem,
+	inputPath, workDir string, cfg Config) (*apriori.Trace, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return nil, fmt.Errorf("mrapriori: MinSupport %v out of (0,1]", cfg.MinSupport)
 	}
@@ -101,7 +112,7 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	rec := runner.Recorder()
 	rec.SetPass(1)
 	passMark := rec.Counters()
-	rep, counters, err := runner.Run(mapreduce.Job{
+	rep, counters, err := runner.RunContext(ctx, mapreduce.Job{
 		Name:        "apriori-pass1",
 		Input:       []string{inputPath},
 		OutputDir:   out1,
@@ -150,6 +161,9 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	prev := sets(l1)
 	k := 2
 	for cfg.MaxK == 0 || k <= cfg.MaxK {
+		if err := exec.ContextErr(ctx); err != nil {
+			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
+		}
 		batch, err := generateBatch(prev, cfg.Variant, fpcPasses, budget, cfg.MaxK, k)
 		if err != nil {
 			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
@@ -159,7 +173,7 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 		}
 		rec.SetPass(k)
 		passMark = rec.Counters()
-		levels, rep, err := runCountJob(runner, fs, inputPath, workDir, k, batch, minCount, reducers, cfg.NumMapTasks)
+		levels, rep, err := runCountJob(ctx, runner, fs, inputPath, workDir, k, batch, minCount, reducers, cfg.NumMapTasks)
 		if err != nil {
 			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)
 		}
@@ -232,7 +246,7 @@ func generateBatch(prev []itemset.Itemset, v Variant, fpcPasses, budget, maxK, k
 
 // runCountJob writes the candidate batch to the distributed cache, runs the
 // counting job, and splits the surviving itemsets back into their levels.
-func runCountJob(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
+func runCountJob(ctx context.Context, runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
 	k int, batch [][]itemset.Itemset, minCount, reducers, mapTasks int) ([][]apriori.SetCount, *sim.JobReport, error) {
 
 	cachePath := fmt.Sprintf("%s/C%d", workDir, k)
@@ -242,7 +256,7 @@ func runCountJob(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDi
 	outDir := fmt.Sprintf("%s/L%d", workDir, k)
 	mapreduce.CleanOutput(fs, outDir)
 
-	rep, _, err := runner.Run(mapreduce.Job{
+	rep, _, err := runner.RunContext(ctx, mapreduce.Job{
 		Name:        fmt.Sprintf("apriori-pass%d", k),
 		Input:       []string{inputPath},
 		OutputDir:   outDir,

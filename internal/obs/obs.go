@@ -47,6 +47,12 @@ type Counters struct {
 	TaskRetries int64    `json:"task_retries"`
 	WastedCost  sim.Cost `json:"wasted_cost"`
 
+	// Execution hardening: stages aborted by cooperative cancellation (a
+	// context cancel, a deadline, or a signal) and user-closure panics
+	// recovered into typed task errors instead of killing the process.
+	Cancellations int64 `json:"cancellations"`
+	TaskPanics    int64 `json:"task_panics"`
+
 	// Chaos mitigation: speculative execution, node blacklisting, shuffle
 	// fetch recovery, and DFS block repair.
 	SpeculativeLaunches int64 `json:"speculative_launches"`
@@ -78,6 +84,8 @@ func (c Counters) Sub(d Counters) Counters {
 		DFSWriteBytes:     c.DFSWriteBytes - d.DFSWriteBytes,
 		TaskRetries:       c.TaskRetries - d.TaskRetries,
 		WastedCost:        c.WastedCost.Sub(d.WastedCost),
+		Cancellations:     c.Cancellations - d.Cancellations,
+		TaskPanics:        c.TaskPanics - d.TaskPanics,
 
 		SpeculativeLaunches: c.SpeculativeLaunches - d.SpeculativeLaunches,
 		SpeculativeWins:     c.SpeculativeWins - d.SpeculativeWins,
@@ -372,6 +380,27 @@ func (r *Recorder) AddRetries(n int64, wasted sim.Cost) {
 	r.mu.Lock()
 	r.counters.TaskRetries += n
 	r.counters.WastedCost = r.counters.WastedCost.Add(wasted)
+	r.mu.Unlock()
+}
+
+// AddCancellations records n stages aborted by cooperative cancellation.
+func (r *Recorder) AddCancellations(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.Cancellations += n
+	r.mu.Unlock()
+}
+
+// AddTaskPanics records n task attempts that panicked in a user closure and
+// were recovered into typed task errors by the worker.
+func (r *Recorder) AddTaskPanics(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.TaskPanics += n
 	r.mu.Unlock()
 }
 

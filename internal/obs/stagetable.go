@@ -101,6 +101,8 @@ func WriteCounters(w io.Writer, c Counters) error {
 		{"dfs_write_bytes", c.DFSWriteBytes},
 		{"task_retries", c.TaskRetries},
 		{"wasted_cost", c.WastedCost},
+		{"cancellations", c.Cancellations},
+		{"task_panics", c.TaskPanics},
 		{"speculative_launches", c.SpeculativeLaunches},
 		{"speculative_wins", c.SpeculativeWins},
 		{"nodes_blacklisted", c.NodesBlacklisted},

@@ -11,15 +11,18 @@
 package rdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yafim/internal/chaos"
 	"yafim/internal/cluster"
 	"yafim/internal/dfs"
+	"yafim/internal/exec"
 	"yafim/internal/obs"
 	"yafim/internal/sim"
 )
@@ -31,6 +34,11 @@ import (
 type Context struct {
 	cfg         cluster.Config
 	parallelism int
+
+	// goCtx carries the driver's cancellation signal (context cancel,
+	// deadline, SIGINT). Workers check it cooperatively at task boundaries;
+	// the default Background context never cancels.
+	goCtx context.Context
 
 	mu              sync.Mutex
 	nextID          int
@@ -93,6 +101,19 @@ func WithoutBroadcast() Option {
 	return func(c *Context) { c.naiveShipping = true }
 }
 
+// WithContext attaches a Go context to the driver: its cancellation or
+// deadline aborts job execution cooperatively at the next task boundary,
+// returning an error matching exec.ErrCanceled or exec.ErrDeadlineExceeded.
+// Partitions already computed stay computed; no goroutines outlive the
+// aborted action. The default is context.Background(), which never cancels.
+func WithContext(ctx context.Context) Option {
+	return func(c *Context) {
+		if ctx != nil {
+			c.goCtx = ctx
+		}
+	}
+}
+
 // WithRecorder attaches a telemetry recorder: every job, stage and task the
 // context runs is recorded as a span on the virtual timeline, and the
 // engine's cache, broadcast, shuffle and retry activity is counted. A nil
@@ -121,6 +142,7 @@ func NewContext(cfg cluster.Config, opts ...Option) (*Context, error) {
 	c := &Context{
 		cfg:         cfg,
 		parallelism: runtime.GOMAXPROCS(0),
+		goCtx:       context.Background(),
 		failures:    make(map[failureKey]int),
 	}
 	for _, o := range opts {
@@ -140,6 +162,15 @@ func (c *Context) Config() cluster.Config { return c.cfg }
 
 // Recorder returns the attached telemetry recorder (nil when disabled).
 func (c *Context) Recorder() *obs.Recorder { return c.rec }
+
+// Ctx returns the driver's Go context (never nil).
+func (c *Context) Ctx() context.Context { return c.goCtx }
+
+// Err reports the driver's cancellation state: nil while the run may
+// continue, otherwise a sentinel-wrapped cancellation or deadline error.
+// Long partition computations call it periodically so a runaway pass (e.g.
+// an Apriori candidate explosion) stops within one task boundary.
+func (c *Context) Err() error { return exec.ContextErr(c.goCtx) }
 
 // noteCompute marks one partition computation and reports whether it
 // repeats work already done earlier in the run — a lineage recomputation
@@ -320,17 +351,29 @@ func (c *Context) addStage(rep sim.StageReport) {
 }
 
 // runTasks executes one stage: numTasks tasks on the worker pool, with
-// per-task cost metering, failure retry, and a deterministic makespan. The
-// work callback is invoked with the task index and that task's ledger;
-// prefs (optional, per task) lists the nodes holding the task's input for
-// locality-aware scheduling.
-func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p int, led *sim.Ledger) error) error {
+// per-task cost metering, failure retry, panic isolation, cooperative
+// cancellation, and a deterministic makespan. The work callback is invoked
+// with the task index and that task's ledger; prefs (optional, per task)
+// lists the nodes holding the task's input for locality-aware scheduling.
+// lineage names the dataset chain feeding the stage (nearest first) and
+// annotates any StageError the stage dies with.
+//
+// A panic in the work closure is recovered into a typed *exec.TaskError and
+// retried like any transient fault; a deterministic panic exhausts the
+// attempt limit and fails the stage. A canceled context aborts each task at
+// its next attempt boundary without retrying.
+func (c *Context) runTasks(name string, lineage []string, numTasks int, prefs [][]int, work func(p int, led *sim.Ledger) error) error {
+	if err := c.Err(); err != nil {
+		c.rec.AddCancellations(1)
+		return &exec.StageError{Engine: "rdd", Stage: name, Lineage: lineage, Err: err}
+	}
 	c.maybeCrash()
 
 	costs := make([]sim.Cost, numTasks)
 	wasted := make([]sim.Cost, numTasks) // cost burned by failed attempts
 	attempts := make([]int, numTasks)
 	errs := make([]error, numTasks)
+	var panics int64
 
 	sem := make(chan struct{}, c.parallelism)
 	var wg sync.WaitGroup
@@ -342,9 +385,17 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 			defer func() { <-sem }()
 			var lastErr error
 			for attempt := 1; attempt <= maxTaskAttempts; attempt++ {
+				if err := c.Err(); err != nil {
+					errs[p] = err
+					return
+				}
 				led := &sim.Ledger{}
-				lastErr = work(p, led)
+				lastErr = exec.Guard("rdd", name, p, attempt, func() error { return work(p, led) })
 				attempts[p] = attempt
+				var te *exec.TaskError
+				if errors.As(lastErr, &te) && te.Panicked() {
+					atomic.AddInt64(&panics, 1)
+				}
 				// A chaos-injected failure strikes after the work ran — the
 				// executor dies before reporting success — so the attempt's
 				// full cost is wasted. Never injected on the last permitted
@@ -357,19 +408,34 @@ func (c *Context) runTasks(name string, numTasks int, prefs [][]int, work func(p
 					costs[p] = led.Total()
 					return
 				}
+				if exec.IsCancellation(lastErr) {
+					// The closure observed the cancellation itself; stop
+					// without retrying — retries only delay the shutdown.
+					errs[p] = lastErr
+					return
+				}
 				// A failed attempt still occupied its core: its partial work
 				// is charged to the task so injected failures are visible in
 				// virtual time, and surfaced as wasted cost.
 				wasted[p] = wasted[p].Add(led.Total())
 			}
-			errs[p] = fmt.Errorf("rdd: stage %q task %d failed after %d attempts: %w",
-				name, p, maxTaskAttempts, lastErr)
+			errs[p] = fmt.Errorf("task %d failed after %d attempts: %w",
+				p, maxTaskAttempts, lastErr)
 		}(p)
 	}
 	wg.Wait()
 
+	c.rec.AddTaskPanics(panics)
 	if err := errors.Join(errs...); err != nil {
-		return err
+		// One representative cancellation instead of the join: every aborted
+		// task carries the same context error, and Join would print it once
+		// per task.
+		if cause := exec.CollapseCancellation(errs); cause != nil {
+			c.rec.AddCancellations(1)
+			return &exec.StageError{Engine: "rdd", Stage: name, Lineage: lineage, Err: cause}
+		}
+		return &exec.StageError{Engine: "rdd", Stage: name, Attempts: maxTaskAttempts,
+			Lineage: lineage, Err: err}
 	}
 	c.noteFailures(name, attempts)
 	placed := make([]sim.Placed, numTasks)

@@ -132,7 +132,7 @@ func Repartition[T any](r *RDD[T], name string, parts int) *RDD[T] {
 		st.once.Do(func() {
 			st.rows = make([][]T, r.parts*parts)
 			st.bytes = make([][]int64, r.parts)
-			st.err = r.ctx.runTasks(name+":map", r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
 				rows, err := r.materialize(p, led)
 				if err != nil {
 					return err

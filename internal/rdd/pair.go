@@ -94,7 +94,7 @@ func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
 		st.once.Do(func() {
 			st.buckets = make([][]map[K]V, r.parts)
 			st.bytes = make([][]int64, r.parts)
-			st.err = r.ctx.runTasks(name+":map", r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
 				rows, err := r.materialize(p, led)
 				if err != nil {
 					return err

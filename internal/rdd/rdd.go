@@ -34,6 +34,7 @@ type RDD[T any] struct {
 
 type preparable interface {
 	prepareAll() error
+	lineageNames() []string
 }
 
 // cacheState holds materialised partitions for a cached RDD. Partition p is
@@ -183,6 +184,18 @@ func (r *RDD[T]) materialize(p int, led *sim.Ledger) ([]T, error) {
 	return rows, nil
 }
 
+// lineageNames returns the dataset dependency chain feeding this RDD,
+// nearest first: the RDD's own name followed by its ancestors'. It
+// annotates StageErrors the way a Spark driver names a failed stage's RDD
+// chain.
+func (r *RDD[T]) lineageNames() []string {
+	names := []string{r.name}
+	for _, d := range r.deps {
+		names = append(names, d.lineageNames()...)
+	}
+	return names
+}
+
 // prepareAll runs, in lineage order, every pending pre-stage (shuffle map
 // side) that this RDD transitively depends on, then its own.
 func (r *RDD[T]) prepareAll() error {
@@ -322,7 +335,7 @@ func runFinal[T any](r *RDD[T], action string) ([][]T, error) {
 		return nil, err
 	}
 	results := make([][]T, r.parts)
-	err := r.ctx.runTasks(r.name, r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+	err := r.ctx.runTasks(r.name, r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
 		rows, err := r.materialize(p, led)
 		if err != nil {
 			return err

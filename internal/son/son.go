@@ -19,6 +19,7 @@
 package son
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -49,6 +50,13 @@ type Config struct {
 // then counting).
 func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir string,
 	cfg Config) (*apriori.Trace, error) {
+	return MineContext(context.Background(), runner, fs, inputPath, workDir, cfg)
+}
+
+// MineContext is Mine with cooperative cancellation: both MapReduce jobs run
+// under ctx, so a cancel or deadline stops the run within one task boundary.
+func MineContext(ctx context.Context, runner *mapreduce.Runner, fs *dfs.FileSystem,
+	inputPath, workDir string, cfg Config) (*apriori.Trace, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return nil, fmt.Errorf("son: MinSupport %v out of (0,1]", cfg.MinSupport)
 	}
@@ -60,7 +68,7 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	// Job 1: local mining per split; the reducer is a dedup (first value).
 	candDir := workDir + "/candidates"
 	mapreduce.CleanOutput(fs, candDir)
-	rep1, counters, err := runner.Run(mapreduce.Job{
+	rep1, counters, err := runner.RunContext(ctx, mapreduce.Job{
 		Name:      "son-candidates",
 		Input:     []string{inputPath},
 		OutputDir: candDir,
@@ -108,7 +116,7 @@ func Mine(runner *mapreduce.Runner, fs *dfs.FileSystem, inputPath, workDir strin
 	}
 	outDir := workDir + "/frequent"
 	mapreduce.CleanOutput(fs, outDir)
-	rep2, _, err := runner.Run(mapreduce.Job{
+	rep2, _, err := runner.RunContext(ctx, mapreduce.Job{
 		Name:        "son-count",
 		Input:       []string{inputPath},
 		OutputDir:   outDir,

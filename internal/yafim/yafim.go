@@ -63,7 +63,12 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		func(_ int, rows []string, led *sim.Ledger) ([]itemset.Itemset, error) {
 			out := make([]itemset.Itemset, 0, len(rows))
 			parsedBytes := 0
-			for _, row := range rows {
+			for i, row := range rows {
+				if i%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				t, err := parseTransaction(row)
 				if err != nil {
 					return nil, err
@@ -124,6 +129,9 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 	// Phase II — iterate L_k -> C_{k+1} -> L_{k+1}.
 	prev := sets(l1)
 	for k := 2; cfg.MaxK == 0 || k <= cfg.MaxK; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)
+		}
 		rec.SetPass(k)
 		passStart = markJobs(ctx)
 		passMark = rec.Counters()
@@ -151,6 +159,11 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 	return out, nil
 }
 
+// cancelCheckRows is how many rows a partition closure processes between
+// cooperative cancellation checks: frequent enough that a runaway pass (e.g.
+// a candidate explosion) stops promptly, rare enough to cost nothing.
+const cancelCheckRows = 512
+
 // countPass runs one Phase II support-counting job: broadcast the candidate
 // hash tree, flatMap the cached transactions into <candidate, 1> pairs,
 // reduceByKey, and keep those meeting the minimum support.
@@ -166,7 +179,12 @@ func countPass(ctx *rdd.Context, trans *rdd.RDD[itemset.Itemset],
 			t := bc.Acquire(led)
 			var out []rdd.Pair[int, int]
 			if brute {
-				for _, tr := range rows {
+				for r, tr := range rows {
+					if r%cancelCheckRows == 0 {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+					}
 					for i, c := range t.Candidates() {
 						led.AddCPU(float64(c.Len()))
 						if tr.ContainsAll(c) {
@@ -176,7 +194,12 @@ func countPass(ctx *rdd.Context, trans *rdd.RDD[itemset.Itemset],
 				}
 				return out, nil
 			}
-			for _, tr := range rows {
+			for r, tr := range rows {
+				if r%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				ops := t.Subset(tr, func(i int) {
 					out = append(out, rdd.Pair[int, int]{Key: i, Value: 1})
 				})

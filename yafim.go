@@ -19,7 +19,9 @@
 package yafim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"yafim/internal/apriori"
@@ -28,6 +30,7 @@ import (
 	"yafim/internal/datagen"
 	"yafim/internal/dataset"
 	"yafim/internal/eclat"
+	"yafim/internal/exec"
 	"yafim/internal/experiments"
 	"yafim/internal/fpgrowth"
 	"yafim/internal/itemset"
@@ -64,6 +67,51 @@ type (
 
 // Rule is an association rule with support, confidence and lift.
 type Rule = rules.Rule
+
+// Error types, re-exported from the exec package. Every failure returned by
+// Mine/MineContext is inspectable with errors.Is/errors.As:
+//
+//   - ErrCanceled / ErrDeadlineExceeded match when the run was cut short by
+//     its context or by Options.Deadline.
+//   - *StageError names the engine and stage that failed, the retry budget
+//     spent, and the RDD lineage that would be recomputed.
+//   - *TaskError pinpoints one task attempt; if a user closure panicked, it
+//     carries the recovered value and stack instead of crashing the process.
+//   - *InputError (defined here) reports an invalid Mine argument.
+type (
+	// TaskError is a single task attempt's failure (possibly a recovered
+	// panic) with engine, stage, partition and attempt attached.
+	TaskError = exec.TaskError
+	// StageError is a stage-level failure wrapping the per-task errors,
+	// annotated with the lineage needed to recompute the stage.
+	StageError = exec.StageError
+)
+
+// Cancellation sentinels, re-exported from the exec package.
+var (
+	// ErrCanceled matches (via errors.Is) any error caused by context
+	// cancellation.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded matches any error caused by a context deadline or
+	// Options.Deadline expiring.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+)
+
+// IsCancellation reports whether err was caused by context cancellation or
+// an expired deadline — i.e. it matches ErrCanceled or ErrDeadlineExceeded.
+func IsCancellation(err error) bool { return exec.IsCancellation(err) }
+
+// InputError reports an invalid argument to Mine or MineContext.
+type InputError struct {
+	// Field names the offending argument ("db", "minSupport", "MaxK", ...).
+	Field string
+	// Reason says what was wrong with it.
+	Reason string
+}
+
+func (e *InputError) Error() string {
+	return fmt.Sprintf("yafim: invalid %s: %s", e.Field, e.Reason)
+}
 
 // Telemetry types, re-exported from the obs package.
 type (
@@ -237,51 +285,111 @@ type Options struct {
 	// only the virtual timeline shows the faults and their mitigation.
 	// Sequential engines ignore it.
 	Chaos *ChaosPlan
+	// Deadline, when positive, bounds the run's real (wall-clock) time. A
+	// run that exceeds it returns an error matching ErrDeadlineExceeded
+	// within one task boundary. It composes with any deadline already on the
+	// context passed to MineContext: whichever expires first wins.
+	Deadline time.Duration
+}
+
+// validate rejects unusable Mine arguments up front with *InputError, so
+// malformed calls fail fast instead of surfacing as a confusing engine
+// failure (or running forever).
+func (opts Options) validate(db *DB, minSupport float64) error {
+	if db == nil {
+		return &InputError{Field: "db", Reason: "must not be nil"}
+	}
+	if math.IsNaN(minSupport) {
+		return &InputError{Field: "minSupport", Reason: "must not be NaN"}
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return &InputError{Field: "minSupport",
+			Reason: fmt.Sprintf("must be in (0, 1], got %g", minSupport)}
+	}
+	if opts.MaxK < 0 {
+		return &InputError{Field: "MaxK",
+			Reason: fmt.Sprintf("must not be negative, got %d", opts.MaxK)}
+	}
+	if opts.Tasks < 0 {
+		return &InputError{Field: "Tasks",
+			Reason: fmt.Sprintf("must not be negative, got %d", opts.Tasks)}
+	}
+	if opts.Deadline < 0 {
+		return &InputError{Field: "Deadline",
+			Reason: fmt.Sprintf("must not be negative, got %v", opts.Deadline)}
+	}
+	return nil
 }
 
 // Mine finds all frequent itemsets of db at the given relative minimum
 // support with the selected engine. The sequential engines return a Trace
 // whose single pass covers the whole run and whose duration is the real
 // elapsed time; parallel engines report per-pass virtual cluster time.
+//
+// Mine is MineContext with a background context: it cannot be canceled
+// except through Options.Deadline.
 func Mine(db *DB, minSupport float64, opts Options) (*Trace, error) {
+	return MineContext(context.Background(), db, minSupport, opts)
+}
+
+// MineContext is Mine with cooperative cancellation. Canceling ctx (or
+// exceeding its deadline, or Options.Deadline) stops the run at the next
+// task boundary — or mid-scan for the dataset-sized loops — and returns an
+// error matching ErrCanceled or ErrDeadlineExceeded. A partial telemetry
+// trace recorded up to the cancellation point remains valid and writable.
+func MineContext(ctx context.Context, db *DB, minSupport float64, opts Options) (*Trace, error) {
+	if err := opts.validate(db, minSupport); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	switch opts.Engine {
 	case EngineYAFIM:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
-		trace, _, err := experiments.RunYAFIM(db, minSupport, cfg, tasks(opts, cfg),
+		trace, _, err := experiments.RunYAFIM(ctx, db, minSupport, cfg, tasks(opts, cfg),
 			yafim.Config{MaxK: opts.MaxK}, rddOptions(opts)...)
 		return trace, err
 	case EngineMapReduce:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
-		trace, _, err := experiments.RunMRApriori(db, minSupport, cfg, tasks(opts, cfg),
+		trace, _, err := experiments.RunMRApriori(ctx, db, minSupport, cfg, tasks(opts, cfg),
 			mrapriori.Config{MaxK: opts.MaxK}, opts.Recorder, opts.Chaos)
 		return trace, err
 	case EngineSequential:
-		return timed(func() (*Result, error) {
-			return apriori.Mine(db, minSupport, apriori.Options{MaxK: opts.MaxK})
+		return timed(ctx, func() (*Result, error) {
+			return apriori.Mine(db, minSupport, apriori.Options{
+				MaxK:      opts.MaxK,
+				Interrupt: func() error { return exec.ContextErr(ctx) },
+			})
 		})
 	case EngineEclat:
-		return timed(func() (*Result, error) { return eclat.Mine(db, minSupport) })
+		return timed(ctx, func() (*Result, error) { return eclat.Mine(db, minSupport) })
 	case EngineFPGrowth:
-		return timed(func() (*Result, error) { return fpgrowth.Mine(db, minSupport) })
+		return timed(ctx, func() (*Result, error) { return fpgrowth.Mine(db, minSupport) })
 	case EngineSON:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperHadoop)
-		trace, _, err := experiments.RunSON(db, minSupport, cfg, tasks(opts, cfg), opts.Recorder)
+		trace, _, err := experiments.RunSON(ctx, db, minSupport, cfg, tasks(opts, cfg), opts.Recorder)
 		return trace, err
 	case EngineDHP:
-		return timed(func() (*Result, error) { return apriori.MineDHP(db, minSupport, 0) })
+		return timed(ctx, func() (*Result, error) { return apriori.MineDHP(db, minSupport, 0) })
 	case EnginePartition:
-		return timed(func() (*Result, error) { return apriori.MinePartition(db, minSupport, 0) })
+		return timed(ctx, func() (*Result, error) { return apriori.MinePartition(db, minSupport, 0) })
 	case EngineToivonen:
-		return timed(func() (*Result, error) {
+		return timed(ctx, func() (*Result, error) {
 			return apriori.MineToivonen(db, minSupport, apriori.ToivonenOptions{Seed: 1})
 		})
 	case EngineDistEclat:
 		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
-		trace, _, err := experiments.RunDistEclat(db, minSupport, cfg, tasks(opts, cfg),
+		trace, _, err := experiments.RunDistEclat(ctx, db, minSupport, cfg, tasks(opts, cfg),
 			rddOptions(opts)...)
 		return trace, err
 	case EngineAprioriTid:
-		return timed(func() (*Result, error) { return apriori.MineAprioriTid(db, minSupport) })
+		return timed(ctx, func() (*Result, error) { return apriori.MineAprioriTid(db, minSupport) })
 	default:
 		return nil, fmt.Errorf("yafim: unknown engine %v", opts.Engine)
 	}
@@ -313,7 +421,13 @@ func tasks(opts Options, cfg Cluster) int {
 	return 2 * cfg.TotalCores()
 }
 
-func timed(run func() (*Result, error)) (*Trace, error) {
+// timed runs a sequential engine, checking the context once up front (most
+// sequential baselines have no interior interruption points) and wrapping
+// the result in a single-pass Trace.
+func timed(ctx context.Context, run func() (*Result, error)) (*Trace, error) {
+	if err := exec.ContextErr(ctx); err != nil {
+		return nil, fmt.Errorf("yafim: %w", err)
+	}
 	start := time.Now()
 	res, err := run()
 	if err != nil {
