@@ -1,22 +1,37 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos fuzz-smoke bench clean
+.PHONY: build fmt test race vet vuln check chaos fuzz-smoke bench bench-json clean
 
 build:
 	$(GO) build ./...
 
+# fmt fails when any file deviates from gofmt, listing the offenders.
+fmt:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# vuln scans dependencies and stdlib usage when govulncheck is on PATH.
+# The tool is not vendored, so offline checkouts skip with a note; CI
+# installs it and runs the scan for real.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (CI runs it)"; fi
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
-# check is the CI gate: everything must build, vet clean, and pass the full
-# suite under the race detector (the engines are genuinely concurrent).
-check: build vet race
+# check is the CI gate: everything must build, be gofmt-clean, vet clean,
+# scan clean, and pass the full suite under the race detector in shuffled
+# order (the engines are genuinely concurrent and order-independent).
+check: build fmt vet race vuln
 
 # chaos runs the fault-injection invariant suite under the race detector:
 # every Chaos* test plus the FuzzChaosInvariant seed corpora, which assert
@@ -37,6 +52,20 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-json runs the perf-gated pass-2 counting benchmarks and renders
+# them as a JSON trajectory point. CI regenerates this into a scratch file
+# and gates it against the committed baseline:
+#
+#   make bench-json BENCH_JSON=bench-current.json
+#   $(GO) run ./cmd/benchjson -check BENCH_4.json bench-current.json
+#
+# To refresh the committed baseline after an intentional perf change, run
+# plain `make bench-json` and commit the updated BENCH_4.json.
+BENCH_JSON ?= BENCH_4.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'Pass2' -benchmem -benchtime 3x -count 1 . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 clean:
 	$(GO) clean ./...

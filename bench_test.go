@@ -16,7 +16,13 @@ import (
 	"context"
 	"testing"
 
+	"yafim/internal/apriori"
 	"yafim/internal/experiments"
+	"yafim/internal/hashtree"
+	"yafim/internal/itemset"
+	"yafim/internal/mrapriori"
+	"yafim/internal/trie"
+	"yafim/internal/yafim"
 )
 
 // benchEnv shrinks datasets so a full -bench=. sweep stays in the minutes
@@ -150,6 +156,139 @@ func BenchmarkSummaryAverageSpeedup(b *testing.B) {
 		avg = s.AverageSpeedup()
 	}
 	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+// ---------------------------------------------------------------------------
+// Pass-2 counting-kernel benchmarks.
+//
+// These are the perf-gated benchmarks behind `make bench-json`: run with
+// -benchmem, their B/op plus the mining runs' virt-sec metrics form the
+// committed BENCH_*.json trajectory that CI refuses to regress by more than
+// 20%. They isolate the Phase-II hot path the paper's Fig. 3 speedups live
+// on: candidate store construction + subset enumeration + support counting.
+// ---------------------------------------------------------------------------
+
+// pass2Fixture generates the candidate-heavy kernel workload: scaled
+// T10-style transactions plus the pass-2 candidates YAFIM would derive from
+// the frequent items.
+func pass2Fixture(b *testing.B) ([]itemset.Transaction, []itemset.Itemset) {
+	b.Helper()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, benchEnv().Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l1, err := apriori.Mine(db, bm.Support, apriori.Options{MaxK: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var items []itemset.Itemset
+	for _, sc := range l1.Levels[0].Sets {
+		items = append(items, sc.Set)
+	}
+	cands, err := apriori.Gen(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cands) == 0 {
+		b.Fatal("fixture generated no pass-2 candidates")
+	}
+	return db.Transactions, cands
+}
+
+// BenchmarkPass2KernelHashTree measures the flat hash-tree counting kernel:
+// dense per-scan count array, pooled matcher scratch, bitset containment.
+func BenchmarkPass2KernelHashTree(b *testing.B) {
+	txs, cands := pass2Fixture(b)
+	tree := hashtree.Build(cands)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		counts, _ := tree.CountSupports(txs)
+		matched = 0
+		for _, c := range counts {
+			if c != 0 {
+				matched++
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "cands")
+	b.ReportMetric(float64(matched), "matched")
+}
+
+// BenchmarkPass2KernelTrie measures the flat prefix-trie counting kernel on
+// the same workload.
+func BenchmarkPass2KernelTrie(b *testing.B) {
+	txs, cands := pass2Fixture(b)
+	t := trie.Build(cands)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts, _ := t.CountSupports(txs)
+		_ = counts
+	}
+}
+
+// BenchmarkPass2KernelBuild measures candidate-store construction (the
+// per-pass broadcast payload): pointer insert + flat compaction + remap.
+func BenchmarkPass2KernelBuild(b *testing.B) {
+	_, cands := pass2Fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := hashtree.Build(cands)
+		_ = tree
+	}
+}
+
+// BenchmarkPass2YAFIM runs the full YAFIM pipeline on the candidate-heavy
+// dataset — the dense count-flush kernel plus the combiner shuffle — and
+// reports the simulated cluster seconds next to the real allocation rate.
+func BenchmarkPass2YAFIM(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, env.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 2 * env.Spark.TotalCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		trace, _, err := experiments.RunYAFIM(context.Background(), db, bm.Support,
+			env.Spark, tasks, yafim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = trace.TotalDuration().Seconds()
+	}
+	b.ReportMetric(virt, "virt-sec")
+}
+
+// BenchmarkPass2MRApriori runs the MapReduce comparator's counting passes
+// with the in-mapper combining kernel.
+func BenchmarkPass2MRApriori(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, env.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 2 * env.Hadoop.TotalCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		trace, _, err := experiments.RunMRApriori(context.Background(), db, bm.Support,
+			env.Hadoop, tasks, mrapriori.Config{}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = trace.TotalDuration().Seconds()
+	}
+	b.ReportMetric(virt, "virt-sec")
 }
 
 // BenchmarkAblationBroadcast measures §IV-C: broadcast variables vs naive

@@ -12,6 +12,7 @@ package hashtree
 
 import (
 	"fmt"
+	"sync"
 
 	"yafim/internal/itemset"
 )
@@ -22,7 +23,9 @@ const (
 	DefaultMaxLeaf = 16
 )
 
-// Tree is a hash tree over candidate itemsets of one fixed length k.
+// Tree is a hash tree over candidate itemsets of one fixed length k. Build
+// inserts candidates into a pointer tree, then compacts it into a flat
+// array layout (flat.go) that subset enumeration walks allocation-free.
 type Tree struct {
 	k         int
 	fanout    int
@@ -30,6 +33,14 @@ type Tree struct {
 	maxLeaf   int
 	root      *node
 	sets      []itemset.Itemset // candidates by index
+
+	// Flat layout, built by compact: see flat.go.
+	index     *itemset.ItemIndex // dense remap of the candidate item universe
+	candDense []int32            // k dense item ids per candidate, by index
+	nodes     []flatNode
+	childIdx  []int32
+	entryIdx  []int32
+	matchers  sync.Pool // *Matcher scratch for Tree.Subset
 }
 
 type node struct {
@@ -83,6 +94,7 @@ func Build(candidates []itemset.Itemset, opts ...Option) *Tree {
 		}
 		t.insert(t.root, 0, i)
 	}
+	t.compact()
 	return t
 }
 
@@ -149,44 +161,12 @@ func (t *Tree) insert(n *node, depth, idx int) {
 // the transaction items (which must be canonical). It returns the number of
 // elementary operations performed (node hops plus per-candidate membership
 // checks), which callers use to charge CPU time in the performance model.
+// The walk borrows a pooled Matcher; workers processing many rows should
+// hold their own (NewMatcher) to skip even the pool round-trip.
 func (t *Tree) Subset(items itemset.Itemset, visit func(i int)) int64 {
-	if items.Len() < t.k {
-		return 1
-	}
-	return t.subset(t.root, items, 0, visit)
-}
-
-// subset descends the tree. At an interior node, each distinct remaining
-// transaction item can extend the path; at a leaf, every stored candidate is
-// verified against the transaction.
-func (t *Tree) subset(n *node, items itemset.Itemset, from int, visit func(i int)) int64 {
-	ops := int64(1)
-	if n.children == nil {
-		for _, e := range n.entries {
-			ops += int64(t.k)
-			if items.ContainsAll(t.sets[e]) {
-				visit(e)
-			}
-		}
-		return ops
-	}
-	// Hashing distinct items may reach the same child several times; a
-	// per-call visited mask keeps the walk from re-scanning subtrees while
-	// staying allocation-light for typical fanouts.
-	seen := make([]int, len(n.children))
-	for i := from; i < items.Len(); i++ {
-		h := t.hash(items[i])
-		if seen[h] == 0 {
-			seen[h] = i + 1
-			continue
-		}
-	}
-	for h, firstPlus := range seen {
-		if firstPlus == 0 {
-			continue
-		}
-		ops += t.subset(n.children[h], items, firstPlus, visit)
-	}
+	m := t.matchers.Get().(*Matcher)
+	ops := m.Subset(items, visit)
+	t.matchers.Put(m)
 	return ops
 }
 
@@ -195,8 +175,9 @@ func (t *Tree) subset(n *node, items itemset.Itemset, from int, visit func(i int
 // the sequential reference used by both the driver programs and tests.
 func (t *Tree) CountSupports(transactions []itemset.Transaction) (counts []int, ops int64) {
 	counts = make([]int, t.Len())
+	m := t.NewMatcher()
 	for _, tr := range transactions {
-		ops += t.Subset(tr.Items, func(i int) { counts[i]++ })
+		ops += m.Subset(tr.Items, func(i int) { counts[i]++ })
 	}
 	return counts, ops
 }

@@ -32,12 +32,20 @@ func (m *itemMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Led
 }
 
 // countMapper implements passes k >= 2 (Algorithm 3 in MapReduce form): load
-// the candidate batch from the distributed cache into hash trees, then emit
-// <candidate, 1> for every candidate contained in each transaction.
+// the candidate batch from the distributed cache into hash trees, then count
+// candidate occurrences across the task's whole input split into dense
+// per-tree arrays (in-mapper combining) and emit one <candidate, count>
+// record per locally occurring candidate at cleanup — instead of one
+// <candidate, 1> record per match, which is what the combiner would
+// otherwise have to crunch back down.
 type countMapper struct {
 	cachePath string
 	trees     []*hashtree.Tree
 	keys      [][]string // per tree: candidate index -> emitted key text
+	matchers  []*hashtree.Matcher
+	counts    [][]int // per tree: dense candidate counts for this split
+	ops       float64 // batched subset-op CPU charges, flushed periodically
+	rows      int
 }
 
 func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
@@ -80,12 +88,29 @@ func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
 		}
 		m.trees = append(m.trees, tree)
 		m.keys = append(m.keys, keys)
+		m.matchers = append(m.matchers, tree.NewMatcher())
+		m.counts = append(m.counts, make([]int, len(cands)))
 		led.AddCPU(float64(len(cands) * k)) // tree construction
 	}
 	return nil
 }
 
-func (m *countMapper) Cleanup(mapreduce.Emit, *sim.Ledger) error { return nil }
+// opsFlushRows is how many rows of subset-enumeration charges a count
+// mapper batches locally before flushing them to the task ledger.
+const opsFlushRows = 512
+
+func (m *countMapper) Cleanup(emit mapreduce.Emit, led *sim.Ledger) error {
+	led.AddCPU(m.ops)
+	m.ops = 0
+	for ti, counts := range m.counts {
+		for i, c := range counts {
+			if c != 0 {
+				emit(m.keys[ti][i], strconv.Itoa(c))
+			}
+		}
+	}
+	return nil
+}
 
 func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Ledger) error {
 	set, err := parseSet(line)
@@ -93,9 +118,13 @@ func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Le
 		return fmt.Errorf("mrapriori: transaction: %w", err)
 	}
 	led.AddCPU(float64(len(line)))
-	for ti, tree := range m.trees {
-		ops := tree.Subset(set, func(i int) { emit(m.keys[ti][i], "1") })
-		led.AddCPU(float64(ops))
+	for ti, matcher := range m.matchers {
+		counts := m.counts[ti]
+		m.ops += float64(matcher.Subset(set, func(i int) { counts[i]++ }))
+	}
+	if m.rows++; m.rows%opsFlushRows == 0 {
+		led.AddCPU(m.ops)
+		m.ops = 0
 	}
 	return nil
 }

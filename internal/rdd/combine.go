@@ -1,0 +1,132 @@
+package rdd
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+	"sync"
+
+	"yafim/internal/sim"
+)
+
+// combineState memoizes one shuffle's map-side output: for every map task a
+// bucket per reduce partition, with the bucket's estimated serialized size.
+type combineState[K cmp.Ordered, C any] struct {
+	once    sync.Once
+	err     error
+	buckets [][]map[K]C // [mapTask][reducePart]
+	bytes   [][]int64   // [mapTask][reducePart]
+}
+
+// CombineByKey is the engine's map-side pre-aggregation primitive, with
+// Spark's combiner semantics: per map partition, each key's values are
+// folded into a combiner of type C (createCombiner for the first value,
+// mergeValue for the rest) before anything is spilled, so shuffle volume is
+// one combiner per distinct key per map task rather than one record per
+// value. The reduce side merges map outputs with mergeCombiners, which must
+// be associative and commutative. parts sets the output partition count (0
+// means inherit the parent's). Output partitions are sorted by key for
+// determinism.
+//
+// Like Spark's, the implementation hash partitions by key, writes shuffle
+// output to (virtual) local disk, and fetches it over the (virtual) network
+// on the reduce side; every step is ledger-metered.
+func CombineByKey[K cmp.Ordered, V, C any](r *RDD[Pair[K, V]], name string,
+	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
+	parts int) *RDD[Pair[K, C]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	st := &combineState[K, C]{}
+	out := newRDD[Pair[K, C]](r.ctx, name, parts, []preparable{r}, nil)
+	out.prepare = func() error {
+		st.once.Do(func() {
+			st.buckets = make([][]map[K]C, r.parts)
+			st.bytes = make([][]int64, r.parts)
+			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+				rows, err := r.materialize(p, led)
+				if err != nil {
+					return err
+				}
+				buckets := make([]map[K]C, parts)
+				for i := range buckets {
+					buckets[i] = make(map[K]C)
+				}
+				for _, kv := range rows {
+					b := buckets[int(hashKey(kv.Key))%parts]
+					if old, ok := b[kv.Key]; ok {
+						b[kv.Key] = mergeValue(old, kv.Value)
+					} else {
+						b[kv.Key] = createCombiner(kv.Value)
+					}
+				}
+				sizes := make([]int64, parts)
+				var spill int64
+				for i, b := range buckets {
+					for k, v := range b {
+						sizes[i] += Pair[K, C]{k, v}.SizeBytes()
+					}
+					spill += sizes[i]
+				}
+				// Map-side cost: touch each row twice (hash + combine), then
+				// spill the combined shuffle output to local disk.
+				led.AddCPU(2 * float64(len(rows)))
+				led.AddDiskWrite(spill)
+				st.buckets[p] = buckets
+				st.bytes[p] = sizes
+				return nil
+			})
+		})
+		return st.err
+	}
+	out.compute = func(p int, led *sim.Ledger) ([]Pair[K, C], error) {
+		if st.buckets == nil {
+			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
+		}
+		// Chaos: a failed shuffle fetch means one map task's output is gone.
+		// The RDD recovery story is lineage: recompute just that parent
+		// partition (a cache hit when the parent is cached — near free) and
+		// rebuild its map-side output. The memoized buckets are reused as the
+		// recomputation's byte-identical result; only the cost is charged.
+		if plan := r.ctx.chaosPlan; plan.FetchFails(name, p) {
+			victim := plan.FetchVictim(name, p, r.parts)
+			r.ctx.rec.AddFetchFailure()
+			r.ctx.rec.AddStageRerun()
+			led.AddNet(st.bytes[victim][p]) // the fetch that found nothing
+			rows, err := r.materialize(victim, led)
+			if err != nil {
+				return nil, err
+			}
+			var spill int64
+			for _, sz := range st.bytes[victim] {
+				spill += sz
+			}
+			led.AddCPU(2 * float64(len(rows)))
+			led.AddDiskWrite(spill)
+		}
+		merged := make(map[K]C)
+		var fetched int64
+		for m := range st.buckets {
+			led.AddNet(st.bytes[m][p])
+			led.AddDiskRead(st.bytes[m][p])
+			fetched += st.bytes[m][p]
+			for k, v := range st.buckets[m][p] {
+				if old, ok := merged[k]; ok {
+					merged[k] = mergeCombiners(old, v)
+				} else {
+					merged[k] = v
+				}
+				led.AddCPU(1)
+			}
+		}
+		out := make([]Pair[K, C], 0, len(merged))
+		for k, v := range merged {
+			out = append(out, Pair[K, C]{k, v})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		led.AddCPU(float64(len(out)))
+		r.ctx.rec.AddShuffleBytes(fetched)
+		return out, nil
+	}
+	return out
+}

@@ -4,10 +4,6 @@ import (
 	"cmp"
 	"fmt"
 	"hash/fnv"
-	"sort"
-	"sync"
-
-	"yafim/internal/sim"
 )
 
 // Pair is a key/value record, the currency of shuffle operations.
@@ -68,118 +64,15 @@ func hashKey[K cmp.Ordered](k K) uint32 {
 	return h.Sum32()
 }
 
-// shuffleState memoizes one shuffle's map-side output: for every map task a
-// bucket per reduce partition, with the bucket's estimated serialized size.
-type shuffleState[K cmp.Ordered, V any] struct {
-	once    sync.Once
-	err     error
-	buckets [][]map[K]V // [mapTask][reducePart]
-	bytes   [][]int64   // [mapTask][reducePart]
-}
-
 // ReduceByKey combines all values sharing a key with the associative,
 // commutative function combine, producing an RDD with parts partitions (0
-// means inherit the parent's). Like Spark's, the implementation performs
-// map-side combining, hash partitions by key, writes shuffle output to
-// (virtual) local disk, and fetches it over the (virtual) network on the
-// reduce side. Output partitions are sorted by key for determinism.
+// means inherit the parent's). It is CombineByKey with the identity
+// combiner: map-side combining, hash partitioning by key, shuffle output
+// written to (virtual) local disk and fetched over the (virtual) network on
+// the reduce side. Output partitions are sorted by key for determinism.
 func ReduceByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], name string,
 	combine func(V, V) V, parts int) *RDD[Pair[K, V]] {
-	if parts <= 0 {
-		parts = r.parts
-	}
-	st := &shuffleState[K, V]{}
-	out := newRDD[Pair[K, V]](r.ctx, name, parts, []preparable{r}, nil)
-	out.prepare = func() error {
-		st.once.Do(func() {
-			st.buckets = make([][]map[K]V, r.parts)
-			st.bytes = make([][]int64, r.parts)
-			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
-				rows, err := r.materialize(p, led)
-				if err != nil {
-					return err
-				}
-				buckets := make([]map[K]V, parts)
-				for i := range buckets {
-					buckets[i] = make(map[K]V)
-				}
-				for _, kv := range rows {
-					b := buckets[int(hashKey(kv.Key))%parts]
-					if old, ok := b[kv.Key]; ok {
-						b[kv.Key] = combine(old, kv.Value)
-					} else {
-						b[kv.Key] = kv.Value
-					}
-				}
-				sizes := make([]int64, parts)
-				var spill int64
-				for i, b := range buckets {
-					for k, v := range b {
-						sizes[i] += Pair[K, V]{k, v}.SizeBytes()
-					}
-					spill += sizes[i]
-				}
-				// Map-side cost: touch each row twice (hash + combine), then
-				// spill the combined shuffle output to local disk.
-				led.AddCPU(2 * float64(len(rows)))
-				led.AddDiskWrite(spill)
-				st.buckets[p] = buckets
-				st.bytes[p] = sizes
-				return nil
-			})
-		})
-		return st.err
-	}
-	out.compute = func(p int, led *sim.Ledger) ([]Pair[K, V], error) {
-		if st.buckets == nil {
-			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
-		}
-		// Chaos: a failed shuffle fetch means one map task's output is gone.
-		// The RDD recovery story is lineage: recompute just that parent
-		// partition (a cache hit when the parent is cached — near free) and
-		// rebuild its map-side output. The memoized buckets are reused as the
-		// recomputation's byte-identical result; only the cost is charged.
-		if plan := r.ctx.chaosPlan; plan.FetchFails(name, p) {
-			victim := plan.FetchVictim(name, p, r.parts)
-			r.ctx.rec.AddFetchFailure()
-			r.ctx.rec.AddStageRerun()
-			led.AddNet(st.bytes[victim][p]) // the fetch that found nothing
-			rows, err := r.materialize(victim, led)
-			if err != nil {
-				return nil, err
-			}
-			var spill int64
-			for _, sz := range st.bytes[victim] {
-				spill += sz
-			}
-			led.AddCPU(2 * float64(len(rows)))
-			led.AddDiskWrite(spill)
-		}
-		merged := make(map[K]V)
-		var fetched int64
-		for m := range st.buckets {
-			led.AddNet(st.bytes[m][p])
-			led.AddDiskRead(st.bytes[m][p])
-			fetched += st.bytes[m][p]
-			for k, v := range st.buckets[m][p] {
-				if old, ok := merged[k]; ok {
-					merged[k] = combine(old, v)
-				} else {
-					merged[k] = v
-				}
-				led.AddCPU(1)
-			}
-		}
-		out := make([]Pair[K, V], 0, len(merged))
-		for k, v := range merged {
-			out = append(out, Pair[K, V]{k, v})
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-		led.AddCPU(float64(len(out)))
-		r.ctx.rec.AddShuffleBytes(fetched)
-		return out, nil
-	}
-	return out
+	return CombineByKey(r, name, func(v V) V { return v }, combine, combine, parts)
 }
 
 // CountByKey counts occurrences of each key via a shuffle and returns the

@@ -212,11 +212,17 @@ func (dedupReducer) Reduce(key string, _ []string, emit mapreduce.Emit, _ *sim.L
 }
 
 // countMapper matches mixed-length candidates (one hash tree per length)
-// against each transaction.
+// against each transaction, counting matches into dense per-tree arrays
+// (in-mapper combining) and emitting one <candidate, count> record per
+// locally occurring candidate at cleanup.
 type countMapper struct {
 	cachePath string
 	trees     []*hashtree.Tree
 	keys      [][]string
+	matchers  []*hashtree.Matcher
+	counts    [][]int
+	ops       float64
+	rows      int
 }
 
 func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
@@ -246,14 +252,32 @@ func (m *countMapper) Setup(cache mapreduce.CacheFiles, led *sim.Ledger) error {
 		for i, c := range cands {
 			keys[i] = setKey(c)
 		}
-		m.trees = append(m.trees, hashtree.Build(cands))
+		tree := hashtree.Build(cands)
+		m.trees = append(m.trees, tree)
 		m.keys = append(m.keys, keys)
+		m.matchers = append(m.matchers, tree.NewMatcher())
+		m.counts = append(m.counts, make([]int, len(cands)))
 		led.AddCPU(float64(len(cands) * k))
 	}
 	return nil
 }
 
-func (m *countMapper) Cleanup(mapreduce.Emit, *sim.Ledger) error { return nil }
+// opsFlushRows is how many rows of subset-enumeration charges the count
+// mapper batches locally before flushing them to the task ledger.
+const opsFlushRows = 512
+
+func (m *countMapper) Cleanup(emit mapreduce.Emit, led *sim.Ledger) error {
+	led.AddCPU(m.ops)
+	m.ops = 0
+	for ti, counts := range m.counts {
+		for i, c := range counts {
+			if c != 0 {
+				emit(m.keys[ti][i], strconv.Itoa(c))
+			}
+		}
+	}
+	return nil
+}
 
 func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Ledger) error {
 	set, err := parseSet(line)
@@ -261,9 +285,13 @@ func (m *countMapper) Map(_ int64, line string, emit mapreduce.Emit, led *sim.Le
 		return fmt.Errorf("son: transaction: %w", err)
 	}
 	led.AddCPU(float64(len(line)))
-	for ti, tree := range m.trees {
-		ops := tree.Subset(set, func(i int) { emit(m.keys[ti][i], "1") })
-		led.AddCPU(float64(ops))
+	for ti, matcher := range m.matchers {
+		counts := m.counts[ti]
+		m.ops += float64(matcher.Subset(set, func(i int) { counts[i]++ }))
+	}
+	if m.rows++; m.rows%opsFlushRows == 0 {
+		led.AddCPU(m.ops)
+		m.ops = 0
 	}
 	return nil
 }

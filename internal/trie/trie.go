@@ -9,6 +9,12 @@
 // never touching candidates outside the transaction's prefix space; unlike
 // the hash tree it needs no final verification step because every reached
 // leaf is an exact match.
+//
+// Build compacts the trie into a flat array layout: nodes live in one
+// slice and each node's edges are a contiguous, item-sorted window of two
+// parallel arrays. The walk merge-scans a node's sorted edges against the
+// transaction's sorted items, so enumeration allocates nothing and follows
+// no pointers.
 package trie
 
 import (
@@ -20,17 +26,29 @@ import (
 // Trie is a prefix trie over candidate itemsets of one fixed length k.
 type Trie struct {
 	k    int
-	root *node
 	sets []itemset.Itemset
+
+	nodes    []tnode
+	edgeItem []itemset.Item // sorted within each node's window
+	edgeNode []int32
 }
 
-type node struct {
-	children map[itemset.Item]*node
-	entry    int // candidate index at depth k; -1 otherwise
+// tnode is one flattened trie node: its edge window and the candidate
+// index stored at depth k (-1 otherwise).
+type tnode struct {
+	edgeLo int32
+	edgeHi int32
+	entry  int32
 }
 
-func newNode() *node {
-	return &node{children: make(map[itemset.Item]*node), entry: -1}
+// buildNode is the temporary pointer node used only during Build.
+type buildNode struct {
+	children map[itemset.Item]*buildNode
+	entry    int32
+}
+
+func newBuildNode() *buildNode {
+	return &buildNode{children: make(map[itemset.Item]*buildNode), entry: -1}
 }
 
 // Build constructs a trie over the given candidate k-itemsets. All
@@ -40,26 +58,53 @@ func Build(candidates []itemset.Itemset) *Trie {
 	if len(candidates) == 0 {
 		panic("trie: Build with no candidates")
 	}
-	t := &Trie{k: candidates[0].Len(), root: newNode(), sets: candidates}
+	t := &Trie{k: candidates[0].Len(), sets: candidates}
 	if t.k < 1 {
 		panic("trie: candidates must have at least one item")
 	}
+	root := newBuildNode()
+	edges := 0
 	for i, c := range candidates {
 		if c.Len() != t.k {
 			panic(fmt.Sprintf("trie: candidate %d has length %d, want %d", i, c.Len(), t.k))
 		}
-		cur := t.root
+		cur := root
 		for _, it := range c {
 			next, ok := cur.children[it]
 			if !ok {
-				next = newNode()
+				next = newBuildNode()
 				cur.children[it] = next
+				edges++
 			}
 			cur = next
 		}
-		cur.entry = i
+		cur.entry = int32(i)
 	}
+	t.nodes = make([]tnode, 0, edges+1)
+	t.edgeItem = make([]itemset.Item, 0, edges)
+	t.edgeNode = make([]int32, 0, edges)
+	t.flatten(root)
 	return t
+}
+
+// flatten appends n and its subtree to the flat arrays, edges sorted by
+// item so the walk can merge-scan them against sorted transactions.
+func (t *Trie) flatten(n *buildNode) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, tnode{entry: n.entry})
+	items := make(itemset.Itemset, 0, len(n.children))
+	for it := range n.children {
+		items = append(items, it)
+	}
+	items = itemset.Canonical(items)
+	lo := int32(len(t.edgeItem))
+	t.edgeItem = append(t.edgeItem, items...)
+	t.edgeNode = append(t.edgeNode, make([]int32, len(items))...)
+	t.nodes[id].edgeLo, t.nodes[id].edgeHi = lo, int32(len(t.edgeItem))
+	for i, it := range items {
+		t.edgeNode[int(lo)+i] = t.flatten(n.children[it])
+	}
+	return id
 }
 
 // K returns the candidate itemset length.
@@ -78,28 +123,31 @@ func (t *Trie) Subset(items itemset.Itemset, visit func(i int)) int64 {
 	if items.Len() < t.k {
 		return 1
 	}
-	return t.subset(t.root, items, 0, t.k, visit)
+	return t.subset(0, items, 0, t.k, visit)
 }
 
-// subset explores extensions of the current node with transaction items at
-// positions >= from. remaining is how many more items the path needs; the
-// walk prunes branches that cannot be completed with the items left.
-func (t *Trie) subset(n *node, items itemset.Itemset, from, remaining int, visit func(i int)) int64 {
+// subset explores extensions of node n with transaction items at positions
+// >= from. remaining is how many more items the path needs; the walk prunes
+// branches that cannot be completed with the items left, and stops early
+// once the node's sorted edges are exhausted.
+func (t *Trie) subset(n int32, items itemset.Itemset, from, remaining int, visit func(i int)) int64 {
+	nd := &t.nodes[n]
 	if remaining == 0 {
-		if n.entry >= 0 {
-			visit(n.entry)
+		if nd.entry >= 0 {
+			visit(int(nd.entry))
 		}
 		return 1
 	}
 	ops := int64(1)
-	// Not enough transaction items left to fill the path: prune.
-	for i := from; i <= items.Len()-remaining; i++ {
-		child, ok := n.children[items[i]]
+	e, hi := int(nd.edgeLo), int(nd.edgeHi)
+	for i := from; i <= items.Len()-remaining && e < hi; i++ {
 		ops++
-		if !ok {
-			continue
+		for e < hi && t.edgeItem[e] < items[i] {
+			e++
 		}
-		ops += t.subset(child, items, i+1, remaining-1, visit)
+		if e < hi && t.edgeItem[e] == items[i] {
+			ops += t.subset(t.edgeNode[e], items, i+1, remaining-1, visit)
+		}
 	}
 	return ops
 }

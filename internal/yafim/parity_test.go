@@ -1,0 +1,85 @@
+package yafim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"yafim/internal/apriori"
+	"yafim/internal/itemset"
+)
+
+// randomParityDB builds a deterministic random database dense enough for
+// several Phase II passes.
+func randomParityDB(seed int64) *itemset.DB {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]itemset.Item, rng.Intn(60)+40)
+	universe := rng.Intn(12) + 8
+	for i := range rows {
+		row := make([]itemset.Item, rng.Intn(6)+2)
+		for j := range row {
+			row[j] = itemset.Item(rng.Intn(universe) + 1)
+		}
+		rows[i] = row
+	}
+	return itemset.NewDB("parity", rows)
+}
+
+// TestCountKernelParityAcrossSeeds locks the allocation-lean counting path
+// to its two references: the hash-tree and brute-force Phase II kernels
+// must produce byte-identical frequent-itemset levels — same sets, same
+// counts, same order — and both must agree with the sequential oracle.
+// This is the exactness contract of the dense-count rewrite: map-side
+// accumulation plus ReduceByKey summation may change how counts travel,
+// never what they are.
+func TestCountKernelParityAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		db := randomParityDB(seed)
+		support := 0.15
+
+		ctxTree, fs, path := stage(t, db)
+		tree, err := Mine(ctxTree, fs, path, Config{MinSupport: support})
+		if err != nil {
+			t.Fatalf("seed %d: tree path: %v", seed, err)
+		}
+		ctxBrute, fs, path := stage(t, db)
+		brute, err := Mine(ctxBrute, fs, path, Config{MinSupport: support, BruteForceMatching: true})
+		if err != nil {
+			t.Fatalf("seed %d: brute path: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(tree.Result.Levels, brute.Result.Levels) {
+			t.Fatalf("seed %d: hash-tree and brute-force kernels disagree:\n tree %v\nbrute %v",
+				seed, tree.Result.All(), brute.Result.All())
+		}
+		oracle, err := apriori.Mine(db, support, apriori.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Result.Equal(oracle) {
+			t.Fatalf("seed %d: YAFIM disagrees with sequential oracle:\n got %v\nwant %v",
+				seed, tree.Result.All(), oracle.All())
+		}
+	}
+}
+
+// TestCountKernelParityWithoutCache re-runs the parity check with the
+// transactions RDD uncached, exercising the pooled count buffers across
+// recomputed partitions.
+func TestCountKernelParityWithoutCache(t *testing.T) {
+	db := randomParityDB(7)
+	ctxA, fs, path := stage(t, db)
+	cached, err := Mine(ctxA, fs, path, Config{MinSupport: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB, fs, path := stage(t, db)
+	uncached, err := Mine(ctxB, fs, path, Config{MinSupport: 0.15, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Result.Levels, uncached.Result.Levels) {
+		t.Fatalf("caching changed mined results:\n cached %v\nuncached %v",
+			cached.Result.All(), uncached.Result.All())
+	}
+}

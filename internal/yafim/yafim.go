@@ -18,6 +18,7 @@ package yafim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"yafim/internal/apriori"
@@ -164,9 +165,34 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 // a candidate explosion) stops promptly, rare enough to cost nothing.
 const cancelCheckRows = 512
 
+// countBufs pools the dense per-partition count buffers of countPass so
+// that passes and partitions reuse them instead of allocating one per task.
+var countBufs sync.Pool
+
+// takeCounts returns a zeroed count buffer of length n.
+func takeCounts(n int) []int {
+	if p, ok := countBufs.Get().(*[]int); ok && cap(*p) >= n {
+		buf := (*p)[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]int, n)
+}
+
+func putCounts(buf []int) {
+	countBufs.Put(&buf)
+}
+
 // countPass runs one Phase II support-counting job: broadcast the candidate
-// hash tree, flatMap the cached transactions into <candidate, 1> pairs,
-// reduceByKey, and keep those meeting the minimum support.
+// hash tree, scan the cached transactions accumulating matches into a dense
+// per-partition count array indexed by candidate id, flush one
+// <candidate, count> pair per locally occurring candidate, reduceByKey, and
+// keep those meeting the minimum support. The dense accumulation is the
+// map-side combining step: shuffle volume is bounded by the candidate count
+// per partition, not the match count, and the scan itself allocates only
+// the flushed pairs (the counter buffer is pooled, the hash-tree matcher
+// reuses its scratch across rows, and CPU charges are batched per
+// cancel-check block instead of per candidate).
 func countPass(ctx *rdd.Context, trans *rdd.RDD[itemset.Itemset],
 	cands []itemset.Itemset, minCount, parts, k int, brute bool) ([]apriori.SetCount, error) {
 
@@ -177,33 +203,50 @@ func countPass(ctx *rdd.Context, trans *rdd.RDD[itemset.Itemset],
 	found := rdd.MapPartitions(trans, name,
 		func(_ int, rows []itemset.Itemset, led *sim.Ledger) ([]rdd.Pair[int, int], error) {
 			t := bc.Acquire(led)
-			var out []rdd.Pair[int, int]
+			counts := takeCounts(t.Len())
+			defer putCounts(counts)
+			var ops int64
 			if brute {
 				for r, tr := range rows {
 					if r%cancelCheckRows == 0 {
 						if err := ctx.Err(); err != nil {
 							return nil, err
 						}
+						led.AddCPU(float64(ops))
+						ops = 0
 					}
 					for i, c := range t.Candidates() {
-						led.AddCPU(float64(c.Len()))
+						ops += int64(c.Len())
 						if tr.ContainsAll(c) {
-							out = append(out, rdd.Pair[int, int]{Key: i, Value: 1})
+							counts[i]++
 						}
 					}
 				}
-				return out, nil
-			}
-			for r, tr := range rows {
-				if r%cancelCheckRows == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
+			} else {
+				m := t.NewMatcher()
+				for r, tr := range rows {
+					if r%cancelCheckRows == 0 {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						led.AddCPU(float64(ops))
+						ops = 0
 					}
+					ops += m.Subset(tr, func(i int) { counts[i]++ })
 				}
-				ops := t.Subset(tr, func(i int) {
-					out = append(out, rdd.Pair[int, int]{Key: i, Value: 1})
-				})
-				led.AddCPU(float64(ops))
+			}
+			led.AddCPU(float64(ops))
+			nonzero := 0
+			for _, c := range counts {
+				if c != 0 {
+					nonzero++
+				}
+			}
+			out := make([]rdd.Pair[int, int], 0, nonzero)
+			for i, c := range counts {
+				if c != 0 {
+					out = append(out, rdd.Pair[int, int]{Key: i, Value: c})
+				}
 			}
 			return out, nil
 		})
