@@ -47,15 +47,17 @@ chaos:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzChaosInvariant' -fuzztime $(FUZZTIME) ./internal/rdd/
+	$(GO) test -run '^$$' -fuzz 'FuzzShuffleLifecycle' -fuzztime $(FUZZTIME) ./internal/rdd/
 	$(GO) test -run '^$$' -fuzz 'FuzzChaosInvariant' -fuzztime $(FUZZTIME) ./internal/mapreduce/
 	$(GO) test -run '^$$' -fuzz 'FuzzChaosMiningInvariant' -fuzztime $(FUZZTIME) ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# bench-json runs the perf-gated pass-2 counting benchmarks and renders
-# them as a JSON trajectory point. CI regenerates this into a scratch file
-# and gates it against the committed baseline:
+# bench-json runs the perf-gated benchmarks — the pass-2 counting kernels
+# plus the shuffle residency kernel — and renders them as a JSON trajectory
+# point. CI regenerates this into a scratch file and gates it against the
+# committed baseline:
 #
 #   make bench-json BENCH_JSON=bench-current.json
 #   $(GO) run ./cmd/benchjson -check BENCH_4.json bench-current.json
@@ -64,7 +66,7 @@ bench:
 # plain `make bench-json` and commit the updated BENCH_4.json.
 BENCH_JSON ?= BENCH_4.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'Pass2' -benchmem -benchtime 3x -count 1 . \
+	$(GO) test -run '^$$' -bench 'Pass2|ShuffleResident' -benchmem -benchtime 3x -count 1 . \
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 clean:

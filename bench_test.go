@@ -267,6 +267,39 @@ func BenchmarkPass2YAFIM(b *testing.B) {
 	b.ReportMetric(virt, "virt-sec")
 }
 
+// BenchmarkShuffleResident measures the shuffle lifecycle manager on the
+// full mining run: peak resident map-output bytes (with the facade's
+// pass-boundary frees this is roughly one pass's shuffle volume, not the
+// whole run's) and the bytes still resident after mining (must be ~0 once
+// Close runs). Both metrics are deterministic virtual quantities and are
+// perf-gated like virt-sec.
+func BenchmarkShuffleResident(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, env.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 2 * env.Spark.TotalCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak, final float64
+	for i := 0; i < b.N; i++ {
+		_, ctx, err := experiments.RunYAFIM(context.Background(), db, bm.Support,
+			env.Spark, tasks, yafim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ctx.Close(); err != nil {
+			b.Fatal(err)
+		}
+		peak = float64(ctx.ShufflePeakBytes())
+		final = float64(ctx.ShuffleResidentBytes())
+	}
+	b.ReportMetric(peak, "peak-resident-bytes")
+	b.ReportMetric(final, "final-resident-bytes")
+}
+
 // BenchmarkPass2MRApriori runs the MapReduce comparator's counting passes
 // with the in-mapper combining kernel.
 func BenchmarkPass2MRApriori(b *testing.B) {

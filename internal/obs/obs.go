@@ -43,6 +43,14 @@ type Counters struct {
 	DFSReadBytes  int64 `json:"dfs_read_bytes"`
 	DFSWriteBytes int64 `json:"dfs_write_bytes"`
 
+	// Shuffle lifecycle: map-output bytes currently resident in executor
+	// memory (a gauge — commits add, frees/node losses subtract), map-output
+	// slices reclaimed by Unpersist/FreeShuffles/node loss, and map tasks
+	// re-executed to regenerate output a node loss destroyed.
+	ShuffleResidentBytes int64 `json:"shuffle_resident_bytes"`
+	ShuffleFrees         int64 `json:"shuffle_frees"`
+	MapReruns            int64 `json:"map_reruns"`
+
 	// Fault tolerance: failed task attempts and the virtual work they wasted.
 	TaskRetries int64    `json:"task_retries"`
 	WastedCost  sim.Cost `json:"wasted_cost"`
@@ -82,10 +90,15 @@ func (c Counters) Sub(d Counters) Counters {
 		ShuffleBytes:      c.ShuffleBytes - d.ShuffleBytes,
 		DFSReadBytes:      c.DFSReadBytes - d.DFSReadBytes,
 		DFSWriteBytes:     c.DFSWriteBytes - d.DFSWriteBytes,
-		TaskRetries:       c.TaskRetries - d.TaskRetries,
-		WastedCost:        c.WastedCost.Sub(d.WastedCost),
-		Cancellations:     c.Cancellations - d.Cancellations,
-		TaskPanics:        c.TaskPanics - d.TaskPanics,
+
+		ShuffleResidentBytes: c.ShuffleResidentBytes - d.ShuffleResidentBytes,
+		ShuffleFrees:         c.ShuffleFrees - d.ShuffleFrees,
+		MapReruns:            c.MapReruns - d.MapReruns,
+
+		TaskRetries:   c.TaskRetries - d.TaskRetries,
+		WastedCost:    c.WastedCost.Sub(d.WastedCost),
+		Cancellations: c.Cancellations - d.Cancellations,
+		TaskPanics:    c.TaskPanics - d.TaskPanics,
 
 		SpeculativeLaunches: c.SpeculativeLaunches - d.SpeculativeLaunches,
 		SpeculativeWins:     c.SpeculativeWins - d.SpeculativeWins,
@@ -347,6 +360,40 @@ func (r *Recorder) AddShuffleBytes(n int64) {
 	}
 	r.mu.Lock()
 	r.counters.ShuffleBytes += n
+	r.mu.Unlock()
+}
+
+// AddShuffleResident adjusts the shuffle-resident-bytes gauge by the signed
+// delta n: positive when a map task's output is committed to executor
+// memory, negative when it is freed, invalidated, or lost with a node.
+func (r *Recorder) AddShuffleResident(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.ShuffleResidentBytes += n
+	r.mu.Unlock()
+}
+
+// AddShuffleFrees records n map-output slices reclaimed (Unpersist, the
+// facade's pass-boundary free, Context.Close, or a node loss).
+func (r *Recorder) AddShuffleFrees(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.ShuffleFrees += n
+	r.mu.Unlock()
+}
+
+// AddMapReruns records n map tasks re-executed from lineage to regenerate
+// shuffle output destroyed by a node loss.
+func (r *Recorder) AddMapReruns(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters.MapReruns += n
 	r.mu.Unlock()
 }
 

@@ -99,6 +99,9 @@ func WriteCounters(w io.Writer, c Counters) error {
 		{"shuffle_bytes", c.ShuffleBytes},
 		{"dfs_read_bytes", c.DFSReadBytes},
 		{"dfs_write_bytes", c.DFSWriteBytes},
+		{"shuffle_resident_bytes", c.ShuffleResidentBytes},
+		{"shuffle_frees", c.ShuffleFrees},
+		{"map_reruns", c.MapReruns},
 		{"task_retries", c.TaskRetries},
 		{"wasted_cost", c.WastedCost},
 		{"cancellations", c.Cancellations},

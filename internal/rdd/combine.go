@@ -2,18 +2,18 @@ package rdd
 
 import (
 	"cmp"
-	"fmt"
 	"sort"
-	"sync"
 
 	"yafim/internal/sim"
 )
 
-// combineState memoizes one shuffle's map-side output: for every map task a
+// combineState holds one shuffle's map-side output: for every map task a
 // bucket per reduce partition, with the bucket's estimated serialized size.
+// Its lifecycle — when the buckets exist, when an error forces a re-run,
+// when a node loss punches holes, when the memory is reclaimed — lives in
+// the embedded shuffleCore, registered with the Context.
 type combineState[K cmp.Ordered, C any] struct {
-	once    sync.Once
-	err     error
+	core    *shuffleCore
 	buckets [][]map[K]C // [mapTask][reducePart]
 	bytes   [][]int64   // [mapTask][reducePart]
 }
@@ -30,7 +30,11 @@ type combineState[K cmp.Ordered, C any] struct {
 //
 // Like Spark's, the implementation hash partitions by key, writes shuffle
 // output to (virtual) local disk, and fetches it over the (virtual) network
-// on the reduce side; every step is ledger-metered.
+// on the reduce side; every step is ledger-metered. The spilled output is
+// tracked by the context's shuffle lifecycle manager: a failed or canceled
+// map stage invalidates it (the next action re-runs instead of replaying
+// the error), KillNode destroys the dead node's slices (re-run of just the
+// missing map tasks), and Unpersist or Context.FreeShuffles reclaims it.
 func CombineByKey[K cmp.Ordered, V, C any](r *RDD[Pair[K, V]], name string,
 	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
 	parts int) *RDD[Pair[K, C]] {
@@ -38,55 +42,85 @@ func CombineByKey[K cmp.Ordered, V, C any](r *RDD[Pair[K, V]], name string,
 		parts = r.parts
 	}
 	st := &combineState[K, C]{}
+	st.core = newShuffleCore(r.ctx, name, r.parts,
+		func(p int) { st.buckets[p], st.bytes[p] = nil, nil },
+		func() { st.buckets, st.bytes = nil, nil })
 	out := newRDD[Pair[K, C]](r.ctx, name, parts, []preparable{r}, nil)
+	out.shuffle = st.core
+
+	// runMap executes the map side for one parent partition: hash-partition
+	// into buckets, combine per key, spill to (virtual) local disk.
+	runMap := func(p int, led *sim.Ledger) error {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return err
+		}
+		buckets := make([]map[K]C, parts)
+		for i := range buckets {
+			buckets[i] = make(map[K]C)
+		}
+		for _, kv := range rows {
+			b := buckets[int(hashKey(kv.Key))%parts]
+			if old, ok := b[kv.Key]; ok {
+				b[kv.Key] = mergeValue(old, kv.Value)
+			} else {
+				b[kv.Key] = createCombiner(kv.Value)
+			}
+		}
+		sizes := make([]int64, parts)
+		var spill int64
+		for i, b := range buckets {
+			for k, v := range b {
+				sizes[i] += Pair[K, C]{k, v}.SizeBytes()
+			}
+			spill += sizes[i]
+		}
+		// Map-side cost: touch each row twice (hash + combine), then
+		// spill the combined shuffle output to local disk.
+		led.AddCPU(2 * float64(len(rows)))
+		led.AddDiskWrite(spill)
+		st.buckets[p] = buckets
+		st.bytes[p] = sizes
+		return nil
+	}
+	taskBytes := func(p int) int64 {
+		var n int64
+		for _, sz := range st.bytes[p] {
+			n += sz
+		}
+		return n
+	}
+
 	out.prepare = func() error {
-		st.once.Do(func() {
+		missing, runAll := st.core.plan()
+		if runAll {
 			st.buckets = make([][]map[K]C, r.parts)
 			st.bytes = make([][]int64, r.parts)
-			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
-				rows, err := r.materialize(p, led)
-				if err != nil {
-					return err
-				}
-				buckets := make([]map[K]C, parts)
-				for i := range buckets {
-					buckets[i] = make(map[K]C)
-				}
-				for _, kv := range rows {
-					b := buckets[int(hashKey(kv.Key))%parts]
-					if old, ok := b[kv.Key]; ok {
-						b[kv.Key] = mergeValue(old, kv.Value)
-					} else {
-						b[kv.Key] = createCombiner(kv.Value)
-					}
-				}
-				sizes := make([]int64, parts)
-				var spill int64
-				for i, b := range buckets {
-					for k, v := range b {
-						sizes[i] += Pair[K, C]{k, v}.SizeBytes()
-					}
-					spill += sizes[i]
-				}
-				// Map-side cost: touch each row twice (hash + combine), then
-				// spill the combined shuffle output to local disk.
-				led.AddCPU(2 * float64(len(rows)))
-				led.AddDiskWrite(spill)
-				st.buckets[p] = buckets
-				st.bytes[p] = sizes
-				return nil
-			})
-		})
-		return st.err
+			err := r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, runMap)
+			if err != nil {
+				st.core.invalidate()
+				return err
+			}
+			bytes := make([]int64, r.parts)
+			for p := range bytes {
+				bytes[p] = taskBytes(p)
+			}
+			st.core.commit(nil, bytes)
+			return nil
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		return st.core.recover(missing, r.prefs, r.lineageNames(), runMap, taskBytes)
 	}
 	out.compute = func(p int, led *sim.Ledger) ([]Pair[K, C], error) {
-		if st.buckets == nil {
-			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage ran", name)
+		if !st.core.ready() {
+			return nil, &shuffleMissingError{name: name}
 		}
 		// Chaos: a failed shuffle fetch means one map task's output is gone.
 		// The RDD recovery story is lineage: recompute just that parent
 		// partition (a cache hit when the parent is cached — near free) and
-		// rebuild its map-side output. The memoized buckets are reused as the
+		// rebuild its map-side output. The resident buckets are reused as the
 		// recomputation's byte-identical result; only the cost is charged.
 		if plan := r.ctx.chaosPlan; plan.FetchFails(name, p) {
 			victim := plan.FetchVictim(name, p, r.parts)

@@ -53,6 +53,17 @@ type Context struct {
 
 	cacheMgr *cacheManager // per-node executor memory accounting
 
+	// Shuffle lifecycle: every shuffle operator registers its state here so
+	// the context can invalidate it on error, drop a dead node's slices, and
+	// reclaim it at pass boundaries. shuffleUsed tracks resident map-output
+	// spill per node next to the cache manager's budget; shuffleSpilled and
+	// shufflePeak record the run's cumulative and high-water spill volume.
+	shuffles       []*shuffleCore
+	shuffleUsed    []int64
+	shuffleTotal   int64
+	shufflePeak    int64
+	shuffleSpilled int64
+
 	// Chaos engineering: the seed-driven fault plan, the mitigation
 	// configuration, per-node failure bookkeeping, whether the planned crash
 	// has fired, and the filesystems that crash along with a node.
@@ -144,6 +155,7 @@ func NewContext(cfg cluster.Config, opts ...Option) (*Context, error) {
 		parallelism: runtime.GOMAXPROCS(0),
 		goCtx:       context.Background(),
 		failures:    make(map[failureKey]int),
+		shuffleUsed: make([]int64, cfg.Nodes),
 	}
 	for _, o := range opts {
 		o(c)
@@ -232,6 +244,101 @@ func (c *Context) registerCache(e evictor) {
 	c.mu.Unlock()
 }
 
+func (c *Context) registerShuffle(st *shuffleCore) {
+	c.mu.Lock()
+	c.shuffles = append(c.shuffles, st)
+	c.mu.Unlock()
+}
+
+// shuffleAccount charges (or, with negative n, releases) resident shuffle
+// spill produced by the given map task against its node, maintaining the
+// total, cumulative and peak volumes and mirroring the delta into the
+// telemetry gauge. Called by shuffleCore with its own lock held; the core
+// never calls back while c.mu is held, so the order is always core -> ctx.
+func (c *Context) shuffleAccount(mapTask int, n int64) {
+	c.mu.Lock()
+	c.shuffleUsed[mapTask%len(c.shuffleUsed)] += n
+	c.shuffleTotal += n
+	if n > 0 {
+		c.shuffleSpilled += n
+	}
+	if c.shuffleTotal > c.shufflePeak {
+		c.shufflePeak = c.shuffleTotal
+	}
+	c.mu.Unlock()
+	c.rec.AddShuffleResident(n)
+}
+
+// ShuffleResidentBytes reports the map-output spill currently retained
+// across all nodes. After Close it is always zero.
+func (c *Context) ShuffleResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shuffleTotal
+}
+
+// ShufflePeakBytes reports the high-water mark of resident shuffle spill —
+// with pass-boundary reclamation this is roughly one pass's shuffle volume,
+// without it the sum of every pass's.
+func (c *Context) ShufflePeakBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shufflePeak
+}
+
+// ShuffleSpilledBytes reports the cumulative shuffle spill written over the
+// context's lifetime, reclaimed or not. Peak versus cumulative is the
+// measure of how much the lifecycle manager's reclamation saves.
+func (c *Context) ShuffleSpilledBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shuffleSpilled
+}
+
+// shuffleNodeBytes reports one node's resident shuffle spill (for tests).
+func (c *Context) shuffleNodeBytes(node int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shuffleUsed[node]
+}
+
+// SetContext replaces the driver's Go context for subsequent actions. A
+// long-running driver — one Context serving many queries — attaches each
+// request's cancellation or deadline here; after a canceled or timed-out
+// action, attach a fresh context and re-run the lineage: invalidated
+// shuffle state re-executes instead of replaying the stale error. Must not
+// be called while an action is running (actions are sequential anyway).
+func (c *Context) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.goCtx = ctx
+}
+
+// FreeShuffles reclaims every registered shuffle's resident map output.
+// The YAFIM driver calls it at each pass boundary so pass k's shuffle
+// spill is released before pass k+1 starts; lineage stays valid, so an RDD
+// whose shuffle was freed simply re-runs its map stage on the next action.
+func (c *Context) FreeShuffles() {
+	c.mu.Lock()
+	shuffles := append([]*shuffleCore(nil), c.shuffles...)
+	c.mu.Unlock()
+	for _, st := range shuffles {
+		st.free()
+	}
+}
+
+// Close releases everything the context retains on behalf of the cluster:
+// every shuffle's resident map output and every cached partition. Reports
+// and telemetry stay readable; the context itself remains usable (a later
+// action recomputes from lineage), so Close is idempotent and safe to
+// defer. It always returns nil and exists to satisfy io.Closer.
+func (c *Context) Close() error {
+	c.FreeShuffles()
+	c.DropAllCaches()
+	return nil
+}
+
 // FailTaskOnce injects n transient failures into the given partition of the
 // given RDD: its next n materialisations return an error, exercising the
 // scheduler's task retry path. Negative partition indices or failure counts
@@ -260,16 +367,23 @@ func (c *Context) shouldFail(rddID, part int) bool {
 	return false
 }
 
-// KillNode simulates losing worker node n: every cached partition resident
-// on that node is dropped. Subsequent actions transparently recompute the
-// lost partitions from lineage, which is the RDD fault-tolerance story.
+// KillNode simulates losing worker node n: every cached partition and every
+// shuffle map-output slice resident on that node is dropped, matching
+// dfs.KillNode's loss of the node's block replicas. Subsequent actions
+// transparently recompute the lost cache partitions from lineage, and the
+// next action over an affected shuffle re-runs exactly the missing map
+// partitions, which is the RDD fault-tolerance story.
 func (c *Context) KillNode(n int) {
 	c.mu.Lock()
 	caches := append([]evictor(nil), c.caches...)
+	shuffles := append([]*shuffleCore(nil), c.shuffles...)
 	nodes := c.cfg.Nodes
 	c.mu.Unlock()
 	for _, e := range caches {
 		e.evictNode(n, nodes)
+	}
+	for _, st := range shuffles {
+		st.dropNode(n, nodes)
 	}
 	c.health.MarkDead(n)
 }
@@ -411,6 +525,15 @@ func (c *Context) runTasks(name string, lineage []string, numTasks int, prefs []
 				if exec.IsCancellation(lastErr) {
 					// The closure observed the cancellation itself; stop
 					// without retrying — retries only delay the shutdown.
+					errs[p] = lastErr
+					return
+				}
+				var miss *shuffleMissingError
+				if errors.As(lastErr, &miss) {
+					// A fetch failure: the map output this task needs is gone
+					// and no retry can regenerate it. Fail the stage fast so
+					// the driver can recover the missing map partitions from
+					// lineage and resubmit.
 					errs[p] = lastErr
 					return
 				}

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -92,6 +93,94 @@ func FuzzChaosInvariant(f *testing.F) {
 		}
 		if d1, d2 := ctx1.TotalDuration(), ctx2.TotalDuration(); d1 != d2 {
 			t.Fatalf("same seed diverged: %v vs %v", d1, d2)
+		}
+	})
+}
+
+// FuzzShuffleLifecycle drives the shuffle lifecycle manager through an
+// arbitrary interleaving of actions, cancellations, node kills, unpersists,
+// exhausted-retry failures and reclamations, then checks the two lifecycle
+// invariants: after Close the shuffle residency accounting is exactly zero,
+// and a final clean action still produces the fault-free reference result.
+func FuzzShuffleLifecycle(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 3, 0}, uint16(200), uint8(7))
+	f.Add([]byte{1, 0, 4, 0, 2, 2, 5, 0}, uint16(97), uint8(3))
+	f.Add([]byte{4, 1, 3, 2, 0}, uint16(513), uint8(31))
+	f.Fuzz(func(t *testing.T, ops []byte, rows uint16, keys uint8) {
+		nRows := 20 + int(rows)%800
+		nKeys := 1 + int(keys)%64
+		want, _ := fuzzPipeline(t, nRows, nKeys)
+
+		ctx, err := NewContext(cluster.Local())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var data []Pair[string, int64]
+		for i := 0; i < nRows; i++ {
+			data = append(data, Pair[string, int64]{Key: fmt.Sprintf("k%d", i%nKeys), Value: 1})
+		}
+		pairs := Parallelize(ctx, "pairs", data, 16).Cache()
+		counted := ReduceByKey(pairs, "counted", func(a, b int64) int64 { return a + b }, 8)
+
+		run := func() ([]Pair[string, int64], error) { return Collect(counted) }
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		for i, op := range ops {
+			switch op % 6 {
+			case 0: // clean action
+				if out, err := run(); err != nil {
+					t.Fatalf("op %d: clean run failed: %v", i, err)
+				} else if len(out) != len(want) {
+					t.Fatalf("op %d: clean run returned %d keys, want %d", i, len(out), len(want))
+				}
+			case 1: // cancel before the action, then restore
+				canceled, cancel := context.WithCancel(context.Background())
+				cancel()
+				ctx.SetContext(canceled)
+				if _, err := run(); err == nil {
+					t.Fatalf("op %d: canceled run succeeded", i)
+				}
+				ctx.SetContext(context.Background())
+			case 2: // node loss
+				ctx.KillNode(int(op) % 2)
+			case 3: // reclaim one RDD's shuffle
+				counted.Unpersist()
+			case 4: // exhaust the retry budget in the map stage
+				// Unpersist first: with the shuffle output resident the map
+				// stage would not re-run and the injection would never fire.
+				counted.Unpersist()
+				ctx.FailTaskOnce(pairs.ID(), i%16, maxTaskAttempts)
+				if _, err := run(); err == nil {
+					t.Fatalf("op %d: run with exhausted retries succeeded", i)
+				}
+			case 5: // reclaim everything
+				ctx.FreeShuffles()
+			}
+		}
+
+		got, err := run()
+		if err != nil {
+			t.Fatalf("final clean run failed: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("final run returned %d keys, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("final pair %d: %+v vs fault-free %+v", i, got[i], want[i])
+			}
+		}
+		if err := ctx.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := ctx.ShuffleResidentBytes(); n != 0 {
+			t.Fatalf("shuffle_resident_bytes = %d after Close, want 0", n)
+		}
+		for node := 0; node < 2; node++ {
+			if n := ctx.shuffleNodeBytes(node); n != 0 {
+				t.Fatalf("node %d retains %d shuffle bytes after Close", node, n)
+			}
 		}
 	})
 }

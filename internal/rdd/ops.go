@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"yafim/internal/sim"
 )
@@ -116,47 +115,85 @@ func Sample[T any](r *RDD[T], name string, fraction float64, seed int64) *RDD[T]
 }
 
 // Repartition redistributes r's elements evenly across parts partitions via
-// a round-robin shuffle, used to fix skew or change parallelism.
+// a round-robin shuffle, used to fix skew or change parallelism. Like
+// CombineByKey, its map output is owned by the context's shuffle lifecycle
+// manager: failures invalidate it, KillNode drops the dead node's slices,
+// and Unpersist/FreeShuffles reclaim it.
 func Repartition[T any](r *RDD[T], name string, parts int) *RDD[T] {
 	if parts <= 0 {
 		panic(fmt.Sprintf("rdd: %s: repartition to %d partitions", name, parts))
 	}
 	st := &struct {
-		once  sync.Once
-		err   error
+		core  *shuffleCore
 		rows  [][]T     // [mapTask*parts + target]
 		bytes [][]int64 // [mapTask][target]
 	}{}
+	st.core = newShuffleCore(r.ctx, name, r.parts,
+		func(p int) {
+			for t := 0; t < parts; t++ {
+				st.rows[p*parts+t] = nil
+			}
+			st.bytes[p] = nil
+		},
+		func() { st.rows, st.bytes = nil, nil })
 	out := newRDD[T](r.ctx, name, parts, []preparable{r}, nil)
+	out.shuffle = st.core
+
+	runMap := func(p int, led *sim.Ledger) error {
+		rows, err := r.materialize(p, led)
+		if err != nil {
+			return err
+		}
+		for t := 0; t < parts; t++ {
+			st.rows[p*parts+t] = nil
+		}
+		bbytes := make([]int64, parts)
+		var spill int64
+		for i, v := range rows {
+			t := i % parts
+			st.rows[p*parts+t] = append(st.rows[p*parts+t], v)
+			n := recordBytes(v)
+			bbytes[t] += n
+			spill += n
+		}
+		led.AddCPU(float64(len(rows)))
+		led.AddDiskWrite(spill)
+		st.bytes[p] = bbytes
+		return nil
+	}
+	taskBytes := func(p int) int64 {
+		var n int64
+		for _, sz := range st.bytes[p] {
+			n += sz
+		}
+		return n
+	}
+
 	out.prepare = func() error {
-		st.once.Do(func() {
+		missing, runAll := st.core.plan()
+		if runAll {
 			st.rows = make([][]T, r.parts*parts)
 			st.bytes = make([][]int64, r.parts)
-			st.err = r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
-				rows, err := r.materialize(p, led)
-				if err != nil {
-					return err
-				}
-				bbytes := make([]int64, parts)
-				var spill int64
-				for i, v := range rows {
-					t := i % parts
-					st.rows[p*parts+t] = append(st.rows[p*parts+t], v)
-					n := recordBytes(v)
-					bbytes[t] += n
-					spill += n
-				}
-				led.AddCPU(float64(len(rows)))
-				led.AddDiskWrite(spill)
-				st.bytes[p] = bbytes
-				return nil
-			})
-		})
-		return st.err
+			err := r.ctx.runTasks(name+":map", r.lineageNames(), r.parts, r.prefs, runMap)
+			if err != nil {
+				st.core.invalidate()
+				return err
+			}
+			bytes := make([]int64, r.parts)
+			for p := range bytes {
+				bytes[p] = taskBytes(p)
+			}
+			st.core.commit(nil, bytes)
+			return nil
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		return st.core.recover(missing, r.prefs, r.lineageNames(), runMap, taskBytes)
 	}
 	out.compute = func(t int, led *sim.Ledger) ([]T, error) {
-		if st.rows == nil {
-			return nil, fmt.Errorf("rdd: %s: shuffle read before map stage", name)
+		if !st.core.ready() {
+			return nil, &shuffleMissingError{name: name}
 		}
 		var outRows []T
 		var fetched int64

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -30,6 +31,10 @@ type RDD[T any] struct {
 	prefs [][]int
 
 	cache *cacheState[T]
+	// shuffle is the lifecycle state of this RDD's own shuffle (set by wide
+	// transformations such as CombineByKey and Repartition); nil for narrow
+	// RDDs. Unpersist frees it.
+	shuffle *shuffleCore
 }
 
 type preparable interface {
@@ -153,6 +158,21 @@ func (r *RDD[T]) Cache() *RDD[T] {
 	if r.cache == nil {
 		r.cache = &cacheState[T]{mgr: r.ctx.cacheMgr, rec: r.ctx.rec, parts: make([]*[]T, r.parts)}
 		r.ctx.registerCache(r.cache)
+	}
+	return r
+}
+
+// Unpersist releases the RDD's materialised state: cached partitions and,
+// for wide transformations, the resident shuffle map output. The lineage
+// stays intact — a later action recomputes (and re-shuffles) from scratch —
+// so this is Spark's unpersist: a memory release, never a correctness
+// hazard. It returns r for chaining.
+func (r *RDD[T]) Unpersist() *RDD[T] {
+	if r.cache != nil {
+		r.cache.evictAll()
+	}
+	if r.shuffle != nil {
+		r.shuffle.free()
 	}
 	return r
 }
@@ -327,26 +347,34 @@ func Union[T any](a, b *RDD[T], name string) *RDD[T] {
 }
 
 // runFinal executes the action's final stage over r's partitions and
-// returns the materialised partitions.
+// returns the materialised partitions. A reduce-side fetch failure (shuffle
+// map output destroyed by a node loss after its map stage ran) aborts the
+// stage, re-prepares the lineage — which re-runs exactly the missing map
+// partitions — and resubmits, the Spark driver's FetchFailed protocol.
 func runFinal[T any](r *RDD[T], action string) ([][]T, error) {
 	r.ctx.beginJob(fmt.Sprintf("%s(%s)", action, r.name))
 	defer r.ctx.endJob()
-	if err := r.prepareAll(); err != nil {
-		return nil, err
-	}
-	results := make([][]T, r.parts)
-	err := r.ctx.runTasks(r.name, r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
-		rows, err := r.materialize(p, led)
-		if err != nil {
-			return err
+	for resubmit := 0; ; resubmit++ {
+		err := r.prepareAll()
+		if err == nil {
+			results := make([][]T, r.parts)
+			err = r.ctx.runTasks(r.name, r.lineageNames(), r.parts, r.prefs, func(p int, led *sim.Ledger) error {
+				rows, err := r.materialize(p, led)
+				if err != nil {
+					return err
+				}
+				results[p] = rows
+				return nil
+			})
+			if err == nil {
+				return results, nil
+			}
 		}
-		results[p] = rows
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		var miss *shuffleMissingError
+		if !errors.As(err, &miss) || resubmit >= maxStageResubmits {
+			return nil, err
+		}
 	}
-	return results, nil
 }
 
 // Collect materialises the RDD and returns all elements in partition order,
@@ -356,12 +384,21 @@ func Collect[T any](r *RDD[T]) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []T
+	// One sizing walk up front so the output is allocated exactly once
+	// instead of growing append-by-append across partitions.
+	var total int
 	var bytes int64
 	for _, rows := range parts {
-		out = append(out, rows...)
+		total += len(rows)
 		for _, v := range rows {
 			bytes += recordBytes(v)
+		}
+	}
+	var out []T
+	if total > 0 {
+		out = make([]T, 0, total)
+		for _, rows := range parts {
+			out = append(out, rows...)
 		}
 	}
 	r.ctx.addPendingOverhead(transferTime(r.ctx.cfg, bytes))

@@ -143,3 +143,34 @@ func TestChromeTraceByteDeterministic(t *testing.T) {
 		t.Fatal("identical runs exported different trace bytes")
 	}
 }
+
+// TestPassBoundaryFreesShuffle asserts the facade's iteration-scoped
+// unpersist discipline: every pass's shuffle output is reclaimed at its pass
+// boundary, so nothing is resident after Mine returns, every pass records
+// frees, and the per-pass resident-byte delta is ~zero (spilled within the
+// pass, freed at its end) while the run's cumulative spill is not.
+func TestPassBoundaryFreesShuffle(t *testing.T) {
+	rec := obs.New()
+	ctx, fs, path := stage(t, classicDB(), rdd.WithRecorder(rec))
+	trace, err := Mine(ctx, fs, path, Config{MinSupport: 2.0 / 9.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ctx.ShuffleResidentBytes(); n != 0 {
+		t.Fatalf("shuffle_resident_bytes = %d after Mine, want 0", n)
+	}
+	if peak, spilled := ctx.ShufflePeakBytes(), ctx.ShuffleSpilledBytes(); peak <= 0 || spilled < peak {
+		t.Fatalf("peak %d / spilled %d: want 0 < peak <= spilled", peak, spilled)
+	}
+	if got := rec.Counters().ShuffleResidentBytes; got != 0 {
+		t.Fatalf("telemetry gauge = %d after Mine, want 0", got)
+	}
+	for _, p := range trace.Passes {
+		if p.Counters.ShuffleFrees == 0 {
+			t.Fatalf("pass %d freed no shuffle output: %+v", p.K, p.Counters)
+		}
+		if p.Counters.ShuffleResidentBytes != 0 {
+			t.Fatalf("pass %d leaked %d resident shuffle bytes", p.K, p.Counters.ShuffleResidentBytes)
+		}
+	}
+}

@@ -118,6 +118,12 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 	for i, kv := range l1Pairs {
 		l1[i] = apriori.SetCount{Set: itemset.New(itemset.Item(kv.Key)), Count: kv.Value}
 	}
+	// Pass boundary: the Phase I shuffle output (itemCounts) has been
+	// reduced and collected; release its resident map-side buckets so pass 2
+	// starts with zero shuffle bytes held. The per-pass RDDs are never
+	// reused, so this adds no recomputation and no virtual time. Freeing
+	// before the PassStat snapshot attributes the reclamation to this pass.
+	ctx.FreeShuffles()
 	out.Passes = append(out.Passes, apriori.PassStat{
 		K: 1, Candidates: int(n), Frequent: len(l1), Duration: jobsSince(ctx, passStart),
 		Counters: rec.Counters().Sub(passMark),
@@ -147,6 +153,9 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		if err != nil {
 			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)
 		}
+		// Pass boundary: free pass k's shuffle output before generating
+		// C_{k+1}, the iteration-scoped unpersist discipline.
+		ctx.FreeShuffles()
 		out.Passes = append(out.Passes, apriori.PassStat{
 			K: k, Candidates: len(cands), Frequent: len(lk), Duration: jobsSince(ctx, passStart),
 			Counters: rec.Counters().Sub(passMark),
