@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt test race vet vuln check chaos fuzz-smoke bench bench-json clean
+.PHONY: build fmt test race vet vuln check chaos diag fuzz-smoke bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/rdd/ ./internal/mapreduce/ \
 		./internal/experiments/
 
+# diag runs the diagnosis layer end to end on a small fixed-seed dataset
+# with an injected 4x straggler node: both engines mine, the analyzer builds
+# the critical path and attributes the stragglers, and the run fails on any
+# malformed output (critical path not summing to the makespan, analyzed
+# makespan disagreeing with the engine clock, or engines disagreeing).
+diag:
+	$(GO) run ./cmd/experiments -exp diag -dataset T10I4D100K -scale 0.05 -diagchaos
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on top of
 # its seed corpus — enough to catch regressions in the determinism and
 # exactness invariants without turning CI into a fuzzing farm.
@@ -54,19 +62,19 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# bench-json runs the perf-gated benchmarks — the pass-2 counting kernels
-# plus the shuffle residency kernel — and renders them as a JSON trajectory
-# point. CI regenerates this into a scratch file and gates it against the
-# committed baseline:
+# bench-json runs the perf-gated benchmarks — the pass-2 counting kernels,
+# the shuffle residency kernel, and the diagnosis layer — and renders them as
+# a JSON trajectory point. CI regenerates this into a scratch file and gates
+# it against the committed baseline:
 #
 #   make bench-json BENCH_JSON=bench-current.json
-#   $(GO) run ./cmd/benchjson -check BENCH_4.json bench-current.json
+#   $(GO) run ./cmd/benchjson -check BENCH_6.json bench-current.json
 #
 # To refresh the committed baseline after an intentional perf change, run
-# plain `make bench-json` and commit the updated BENCH_4.json.
-BENCH_JSON ?= BENCH_4.json
+# plain `make bench-json` and commit the updated BENCH_6.json.
+BENCH_JSON ?= BENCH_6.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'Pass2|ShuffleResident' -benchmem -benchtime 3x -count 1 . \
+	$(GO) test -run '^$$' -bench 'Pass2|ShuffleResident|Diagnosis' -benchmem -benchtime 3x -count 1 . \
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 clean:

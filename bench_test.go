@@ -14,6 +14,7 @@ package yafim
 
 import (
 	"context"
+	"io"
 	"testing"
 
 	"yafim/internal/apriori"
@@ -21,6 +22,8 @@ import (
 	"yafim/internal/hashtree"
 	"yafim/internal/itemset"
 	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
 	"yafim/internal/trie"
 	"yafim/internal/yafim"
 )
@@ -171,16 +174,19 @@ func BenchmarkSummaryAverageSpeedup(b *testing.B) {
 // pass2Fixture generates the candidate-heavy kernel workload: scaled
 // T10-style transactions plus the pass-2 candidates YAFIM would derive from
 // the frequent items.
-func pass2Fixture(b *testing.B) ([]itemset.Transaction, []itemset.Itemset) {
-	b.Helper()
-	bm := mustBenchmark(b, "T10I4D100K")
+func pass2Fixture(tb testing.TB) ([]itemset.Transaction, []itemset.Itemset) {
+	tb.Helper()
+	bm, err := experiments.FindBenchmark("T10I4D100K")
+	if err != nil {
+		tb.Fatal(err)
+	}
 	db, err := bm.Gen(0.05, benchEnv().Seed)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	l1, err := apriori.Mine(db, bm.Support, apriori.Options{MaxK: 1})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	var items []itemset.Itemset
 	for _, sc := range l1.Levels[0].Sets {
@@ -188,12 +194,45 @@ func pass2Fixture(b *testing.B) ([]itemset.Transaction, []itemset.Itemset) {
 	}
 	cands, err := apriori.Gen(items)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if len(cands) == 0 {
-		b.Fatal("fixture generated no pass-2 candidates")
+		tb.Fatal("fixture generated no pass-2 candidates")
 	}
 	return db.Transactions, cands
+}
+
+// TestRegistryAddsNoAllocsToPass2Kernel pins the metering promise of the
+// metrics registry on the pass-2 hot path: with its series materialized, the
+// per-task registry feed (a duration observation plus a task count) adds
+// exactly zero allocations per operation on top of the counting kernel.
+func TestRegistryAddsNoAllocsToPass2Kernel(t *testing.T) {
+	txs, cands := pass2Fixture(t)
+	tree := hashtree.Build(cands)
+	rec := NewRecorder()
+	reg := rec.Metrics()
+	h := reg.Histogram("yafim_task_duration_seconds",
+		"Virtual duration of each scheduled task attempt interval.",
+		obs.DurationBuckets, "engine", "rdd")
+	c := reg.Counter("yafim_tasks_total", "Tasks scheduled, by engine.",
+		"engine", "rdd")
+	h.Observe(0.001) // materialize the series before measuring
+	c.Add(1)
+
+	kernel := func() {
+		counts, _ := tree.CountSupports(txs)
+		_ = counts
+	}
+	bare := testing.AllocsPerRun(5, kernel)
+	observed := testing.AllocsPerRun(5, func() {
+		kernel()
+		h.Observe(0.004)
+		c.Add(1)
+	})
+	if observed != bare {
+		t.Fatalf("registry added %.1f allocs/op to the pass-2 kernel (bare %.1f, observed %.1f)",
+			observed-bare, bare, observed)
+	}
 }
 
 // BenchmarkPass2KernelHashTree measures the flat hash-tree counting kernel:
@@ -298,6 +337,56 @@ func BenchmarkShuffleResident(b *testing.B) {
 	}
 	b.ReportMetric(peak, "peak-resident-bytes")
 	b.ReportMetric(final, "final-resident-bytes")
+}
+
+// BenchmarkDiagnosis measures the diagnosis layer end to end on the
+// candidate-heavy workload: an instrumented mining run, the critical-path and
+// skew analysis, and every export surface (human report, JSONL journal,
+// Prometheus text). virt-sec is the instrumented run's total — metering
+// neutrality demands it match BenchmarkPass2YAFIM's virt-sec exactly — and
+// the allocation rate is the perf-gated cost of observing a run.
+func BenchmarkDiagnosis(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, env.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 2 * env.Spark.TotalCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt, steps, stragglers float64
+	for i := 0; i < b.N; i++ {
+		rec := NewRecorder()
+		trace, _, err := experiments.RunYAFIM(context.Background(), db, bm.Support,
+			env.Spark, tasks, yafim.Config{}, rdd.WithRecorder(rec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := env.Spark
+		d := Diagnose(rec, &cfg)
+		if err := d.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteDiagnosis(io.Discard, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := WriteJournal(io.Discard, rec); err != nil {
+			b.Fatal(err)
+		}
+		if err := WritePrometheus(io.Discard, rec); err != nil {
+			b.Fatal(err)
+		}
+		virt = trace.TotalDuration().Seconds()
+		steps = float64(len(d.CriticalPath))
+		stragglers = 0
+		for _, st := range d.Stages {
+			stragglers += float64(len(st.Stragglers))
+		}
+	}
+	b.ReportMetric(virt, "virt-sec")
+	b.ReportMetric(steps, "critical-steps")
+	b.ReportMetric(stragglers, "stragglers")
 }
 
 // BenchmarkPass2MRApriori runs the MapReduce comparator's counting passes

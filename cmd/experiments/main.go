@@ -19,12 +19,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"yafim/internal/chaos"
 	"yafim/internal/exec"
 	"yafim/internal/experiments"
 	"yafim/internal/obs"
@@ -49,7 +53,7 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, chaos, or all")
+		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, chaos, diag, or all")
 		ds        = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
 		scale     = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		seed      = flag.Int64("seed", 2014, "data generation seed")
@@ -60,6 +64,8 @@ func run(ctx context.Context) error {
 		traceDir  = flag.String("tracedir", "", "obs: write each instrumented run's Chrome trace JSON here")
 		chaosSeed = flag.Int64("chaosseed", 7, "chaos: fault-plan seed (identical seeds reproduce identical runs)")
 		crashFrac = flag.Float64("crashfrac", 0.4, "chaos: crash a node at this fraction of the fault-free run (0 = no crash)")
+		diagChaos = flag.Bool("diagchaos", false, "diag: inject a seeded node straggler so the diagnosis has environment stragglers to attribute")
+		listen    = flag.String("listen", "", "serve the in-flight run's /metrics, /diag, /journal and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -75,6 +81,33 @@ func run(ctx context.Context) error {
 			return err
 		}
 		benches = []experiments.Benchmark{b}
+	}
+
+	// -listen exposes whichever instrumented run most recently started; the
+	// atomic pointer lets diag runs swap recorders without restarting the
+	// listener, and a scrape before the first run serves empty documents.
+	var served atomic.Pointer[servedRun]
+	onRecorder := func(engine string, rec *obs.Recorder) {
+		cfg := env.Spark
+		if engine == "mapreduce" {
+			cfg = env.Hadoop
+		}
+		served.Store(&servedRun{rec: rec, opts: obs.AnalyzeOptions{Cluster: &cfg}})
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fmt.Errorf("-listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving diagnostics on http://%s/\n", ln.Addr())
+		srv := &http.Server{Handler: obs.HandlerFunc(func() (*obs.Recorder, obs.AnalyzeOptions) {
+			if s := served.Load(); s != nil {
+				return s.rec, s.opts
+			}
+			return nil, obs.AnalyzeOptions{}
+		})}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 
 	start := time.Now()
@@ -308,6 +341,38 @@ func run(ctx context.Context) error {
 		}
 	}
 
+	// diag is opt-in only (not part of "all"): it reruns each benchmark per
+	// engine with full telemetry and prints the critical-path and skew
+	// diagnosis. Every diagnosis is validated for internal consistency
+	// (critical path sums to the makespan, bounded Gini and shares, known
+	// straggler causes), so a malformed report fails the command — this is
+	// what `make diag` gates on.
+	if *exp == "diag" {
+		fmt.Println("=== diag: critical path + skew analysis ===")
+		var plan *chaos.Plan
+		if *diagChaos {
+			plan = &chaos.Plan{Seed: *chaosSeed,
+				Stragglers: []chaos.Straggler{{Node: 1, Factor: 4}}}
+			fmt.Printf("chaos: node 1 straggling at 4x (seed %d)\n", *chaosSeed)
+		}
+		for _, b := range benches {
+			runs, err := experiments.RunDiagnosed(ctx, b, env, plan, onRecorder)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteDiagTable(os.Stdout, runs); err != nil {
+				return err
+			}
+			for _, r := range runs {
+				fmt.Printf("--- %s / %s ---\n", r.Dataset, r.Engine)
+				if err := obs.WriteDiagnosis(os.Stdout, r.Diagnosis); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+	}
+
 	if *exp == "check" {
 		fmt.Println("=== check: paper claims vs reproduction ===")
 		checks, err := experiments.RunShapeChecks(ctx, env)
@@ -322,6 +387,14 @@ func run(ctx context.Context) error {
 
 	fmt.Printf("done in %v (real time)\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// servedRun is what the -listen HTTP surface currently exposes: the most
+// recently started engine run's recorder and the cluster to analyze it
+// against.
+type servedRun struct {
+	rec  *obs.Recorder
+	opts obs.AnalyzeOptions
 }
 
 // writeTraceFile writes one instrumented run's Chrome trace-event JSON into

@@ -14,6 +14,11 @@
 // JSON of the run's virtual timeline (load it in Perfetto or
 // chrome://tracing), -stats prints a Spark-Web-UI-style per-stage skew table
 // plus the counter totals, and -json emits a machine-readable run summary.
+// -diag prints the critical-path and skew diagnosis (straggler attribution,
+// per-stage Gini, hot partitions), -journal writes a JSONL event journal of
+// the virtual timeline, and -listen serves the live run over HTTP: Prometheus
+// text at /metrics, the diagnosis at /diag and /diag.json, the journal at
+// /journal, and net/http/pprof under /debug/pprof/.
 //
 // Runs are interruptible: -timeout bounds the real (wall-clock) time of the
 // mining run, and Ctrl-C (SIGINT) or SIGTERM cancels it at the next task
@@ -28,6 +33,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,6 +77,9 @@ func run(ctx context.Context) error {
 		chaosS   = flag.Int64("chaos", 0, "if != 0, inject the seeded chaos fault plan into parallel engines")
 		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
 		timeout  = flag.Duration("timeout", 0, "abort the mining run after this much real time (0 = no limit)")
+		listen   = flag.String("listen", "", "serve /metrics, /diag, /journal and /debug/pprof/ on this address while the run executes")
+		journal  = flag.String("journal", "", "write a JSONL event journal of the run's virtual timeline to this file")
+		diag     = flag.Bool("diag", false, "print the critical-path and skew diagnosis after the run")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -91,7 +101,7 @@ func run(ctx context.Context) error {
 	}
 
 	opts := yafim.Options{Engine: eng, MaxK: *maxK, Deadline: *timeout}
-	if *traceOut != "" || *stats || *jsonOut {
+	if *traceOut != "" || *stats || *jsonOut || *listen != "" || *journal != "" || *diag {
 		opts.Recorder = yafim.NewRecorder()
 	}
 	if *chaosS != 0 {
@@ -105,6 +115,30 @@ func run(ctx context.Context) error {
 		cfg = cfg.WithNodes(*nodes)
 		opts.Cluster = &cfg
 	}
+	// The cluster the diagnosis should judge task durations against: the
+	// explicit override when given, otherwise the engine's default.
+	diagCluster := opts.Cluster
+	if diagCluster == nil {
+		switch eng {
+		case yafim.EngineYAFIM:
+			c := yafim.ClusterSpark()
+			diagCluster = &c
+		case yafim.EngineMapReduce:
+			c := yafim.ClusterHadoop()
+			diagCluster = &c
+		}
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fmt.Errorf("-listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "yafim: serving diagnostics on http://%s/\n", ln.Addr())
+		srv := &http.Server{Handler: yafim.ObsHandler(opts.Recorder, diagCluster)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
 	trace, err := yafim.MineContext(ctx, db, *support, opts)
 	if err != nil {
 		// A canceled or timed-out run still flushes the telemetry captured so
@@ -123,6 +157,18 @@ func run(ctx context.Context) error {
 					fmt.Fprintln(os.Stderr, "yafim: partial stage table:", werr)
 				}
 			}
+			if *journal != "" {
+				if werr := writeJournalFile(*journal, opts.Recorder); werr != nil {
+					fmt.Fprintln(os.Stderr, "yafim: partial journal:", werr)
+				} else {
+					fmt.Fprintln(os.Stderr, "yafim: partial journal written to", *journal)
+				}
+			}
+			if *diag {
+				if werr := yafim.WriteDiagnosis(os.Stderr, yafim.Diagnose(opts.Recorder, diagCluster)); werr != nil {
+					fmt.Fprintln(os.Stderr, "yafim: partial diagnosis:", werr)
+				}
+			}
 		}
 		return err
 	}
@@ -132,7 +178,17 @@ func run(ctx context.Context) error {
 			return err
 		}
 	}
+	if *journal != "" {
+		if err := writeJournalFile(*journal, opts.Recorder); err != nil {
+			return err
+		}
+	}
 	if *jsonOut {
+		if *diag {
+			if err := yafim.WriteDiagnosis(os.Stderr, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
+				return err
+			}
+		}
 		return writeJSONSummary(os.Stdout, eng, *support, trace, opts.Recorder)
 	}
 
@@ -145,6 +201,11 @@ func run(ctx context.Context) error {
 		}
 		fmt.Println("counters:")
 		if err := yafim.WriteCounters(os.Stdout, opts.Recorder.Counters()); err != nil {
+			return err
+		}
+	}
+	if *diag {
+		if err := yafim.WriteDiagnosis(os.Stdout, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
 			return err
 		}
 	}
@@ -186,6 +247,19 @@ func writeTrace(path string, rec *yafim.Recorder) error {
 		return err
 	}
 	if err := yafim.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeJournalFile writes the recorded run as a JSONL event journal.
+func writeJournalFile(path string, rec *yafim.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := yafim.WriteJournal(f, rec); err != nil {
 		f.Close()
 		return err
 	}

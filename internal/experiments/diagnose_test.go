@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yafim/internal/chaos"
+	"yafim/internal/mrapriori"
+	"yafim/internal/obs"
+	"yafim/internal/rdd"
+	"yafim/internal/yafim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunDiagnosedClean diagnoses a healthy run of both engines. RunDiagnosed
+// itself enforces the structural invariants (critical path sums to the
+// makespan, analyzed makespan equals the engine clock); here we check the
+// diagnosis content a clean run must have — and must not have.
+func TestRunDiagnosedClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment test")
+	}
+	env := testEnv()
+	runs, err := RunDiagnosed(context.Background(), PaperBenchmarks()[1], env, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Engine != "yafim" || runs[1].Engine != "mapreduce" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	for _, r := range runs {
+		if len(r.Diagnosis.Stages) == 0 || len(r.Diagnosis.CriticalPath) == 0 {
+			t.Fatalf("%s: empty diagnosis", r.Engine)
+		}
+		// In a clean deterministic run every task's duration is exactly what
+		// its metered cost predicts, so no straggler may be attributed to the
+		// environment; stragglers, if any, must be genuine data skew.
+		for _, st := range r.Diagnosis.Stages {
+			for _, s := range st.Stragglers {
+				if s.Cause == obs.CauseEnvironment {
+					t.Errorf("%s: clean run attributed task %d in stage %s to the environment",
+						r.Engine, s.Task, st.Stage)
+				}
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDiagTable(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine", "yafim", "mapreduce", "makespan", "gini"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("diag table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestRunDiagnosedChaosAttribution is the end-to-end attribution check: a
+// chaos plan slows node 1 by 4x, and the diagnosis of both engines must
+// point at the environment on exactly that node — not at the data.
+func TestRunDiagnosedChaosAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment test")
+	}
+	env := testEnv()
+	plan := &chaos.Plan{
+		Seed:       1,
+		Stragglers: []chaos.Straggler{{Node: 1, Factor: 4}},
+	}
+	runs, err := RunDiagnosed(context.Background(), PaperBenchmarks()[1], env, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		envCount := 0
+		for _, st := range r.Diagnosis.Stages {
+			for _, s := range st.Stragglers {
+				if s.Cause != obs.CauseEnvironment {
+					continue
+				}
+				envCount++
+				if s.Node != 1 {
+					t.Errorf("%s: environment straggler on node %d, injected node was 1",
+						r.Engine, s.Node)
+				}
+				if s.Slowdown <= 1.5 {
+					t.Errorf("%s: environment straggler with slowdown %.2f", r.Engine, s.Slowdown)
+				}
+			}
+		}
+		if envCount == 0 {
+			t.Errorf("%s: injected 4x straggler node produced no environment attribution", r.Engine)
+		}
+	}
+}
+
+// TestDiagnosisGolden pins the full human-readable diagnosis of a fixed-seed
+// T10I4D100K YAFIM run. The virtual schedule is deterministic, so this output
+// is stable down to the byte; regenerate with -update after intentional
+// changes.
+func TestDiagnosisGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment test")
+	}
+	env := testEnv()
+	runs, err := RunDiagnosed(context.Background(), PaperBenchmarks()[1], env, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	for _, r := range runs {
+		buf.WriteString("== " + r.Engine + " ==\n")
+		if err := obs.WriteDiagnosis(&buf, r.Diagnosis); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := filepath.Join("testdata", "diagnosis_T10I4D100K.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("diagnosis drifted from golden (regenerate with -update if intended):\n got:\n%s\nwant:\n%s",
+			buf.String(), want)
+	}
+}
+
+// TestDiagnosisMeteringNeutral is the acceptance gate for the whole layer:
+// attaching a recorder and exercising every diagnosis surface must not move
+// the engines' virtual clocks or results by a nanosecond, across seeds and
+// engines.
+func TestDiagnosisMeteringNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment test")
+	}
+	b := PaperBenchmarks()[1]
+	for _, seed := range []int64{7, 1234, 2014} {
+		env := testEnv()
+		env.Scale = 0.02 // three seeds x two engines x three runs each: stay small
+		env.Seed = seed
+		db, err := b.Gen(env.Scale, env.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// YAFIM, bare: no recorder anywhere.
+		bareTrace, bareCtx, err := RunYAFIM(context.Background(), db, b.Support,
+			env.Spark, env.tasks(env.Spark), yafim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// YAFIM, observed: recorder attached and every export exercised.
+		rec := obs.New()
+		obsTrace, obsCtx, err := RunYAFIM(context.Background(), db, b.Support,
+			env.Spark, env.tasks(env.Spark), yafim.Config{}, rdd.WithRecorder(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := obs.Analyze(rec, obs.AnalyzeOptions{Cluster: &env.Spark})
+		var sink bytes.Buffer
+		if err := obs.WriteDiagnosis(&sink, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJournal(&sink, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WritePrometheus(&sink, rec); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := obsCtx.TotalDuration(), bareCtx.TotalDuration(); got != want {
+			t.Errorf("seed %d: yafim observed clock %v != bare clock %v", seed, got, want)
+		}
+		if !obsTrace.Result.Equal(bareTrace.Result) {
+			t.Errorf("seed %d: yafim results diverged under observation", seed)
+		}
+
+		// MapReduce, bare vs observed.
+		bareMR, bareRunner, err := RunMRApriori(context.Background(), db, b.Support,
+			env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mRec := obs.New()
+		obsMR, obsRunner, err := RunMRApriori(context.Background(), db, b.Support,
+			env.Hadoop, env.tasks(env.Hadoop), mrapriori.Config{}, mRec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteDiagnosis(&sink, obs.Analyze(mRec, obs.AnalyzeOptions{Cluster: &env.Hadoop})); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJournal(&sink, mRec); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := obsRunner.TotalDuration(), bareRunner.TotalDuration(); got != want {
+			t.Errorf("seed %d: mapreduce observed clock %v != bare clock %v", seed, got, want)
+		}
+		if !obsMR.Result.Equal(bareMR.Result) {
+			t.Errorf("seed %d: mapreduce results diverged under observation", seed)
+		}
+
+		// Observed runs are reproducible: a repeat records identical counters
+		// and exports identical bytes. One seed suffices for this half.
+		if seed != 2014 {
+			continue
+		}
+		rec2 := obs.New()
+		if _, _, err := RunYAFIM(context.Background(), db, b.Support,
+			env.Spark, env.tasks(env.Spark), yafim.Config{}, rdd.WithRecorder(rec2)); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Counters() != rec2.Counters() {
+			t.Errorf("seed %d: repeated runs recorded different counters", seed)
+		}
+		var a, bb bytes.Buffer
+		if err := obs.WritePrometheus(&a, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WritePrometheus(&bb, rec2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), bb.Bytes()) {
+			t.Errorf("seed %d: repeated runs exported different metrics", seed)
+		}
+	}
+}

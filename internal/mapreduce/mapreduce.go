@@ -430,6 +430,21 @@ func (r *Runner) runMapStage(ctx context.Context, job Job, splits []dfs.Split, c
 		counters.MapOutputRecords += emitRecs[t]
 		counters.CombineOutputRecs += combRecs[t]
 	}
+	// Per-partition output shape for the skew analysis, observed driver-side
+	// after the stage settled so retried attempts never double-count.
+	if r.rec.Enabled() {
+		for t := range splits {
+			rows := emitRecs[t]
+			if job.NewCombiner != nil {
+				rows = combRecs[t]
+			}
+			var spill int64
+			for _, n := range outputs[t].bytes {
+				spill += n
+			}
+			r.rec.ObservePartitionOutput("mapreduce", job.Name+":map", int(rows), spill)
+		}
+	}
 	placed := make([]sim.Placed, len(splits))
 	for i, cost := range costs {
 		placed[i] = sim.Placed{Cost: cost, Pref: splits[i].Locations, Relaunches: attempts[i] - 1}
@@ -445,6 +460,7 @@ func (r *Runner) runReduceStage(ctx context.Context, job Job, outputs []*mapOutp
 	cache CacheFiles, counters *Counters) (sim.StageReport, error) {
 	groups := make([]int64, job.NumReducers)
 	outRecs := make([]int64, job.NumReducers)
+	outBytes := make([]int64, job.NumReducers)
 	shuffleBytes := make([]int64, job.NumReducers)
 
 	costs, wasted, attempts, err := r.forEach(ctx, "reduce", job.Name+":reduce", job.NumReducers, func(p int, led *sim.Ledger) error {
@@ -507,6 +523,7 @@ func (r *Runner) runReduceStage(ctx context.Context, job Job, outputs []*mapOutp
 		}
 		groups[p] = int64(len(keys))
 		outRecs[p] = outRecords
+		outBytes[p] = int64(sb.Len())
 		return nil
 	})
 	if err != nil {
@@ -516,6 +533,12 @@ func (r *Runner) runReduceStage(ctx context.Context, job Job, outputs []*mapOutp
 		counters.ReduceInputGroups += groups[p]
 		counters.ReduceOutputRecords += outRecs[p]
 		r.rec.AddShuffleBytes(shuffleBytes[p])
+	}
+	if r.rec.Enabled() {
+		for p := 0; p < job.NumReducers; p++ {
+			r.rec.ObservePartitionOutput("mapreduce", job.Name+":reduce",
+				int(outRecs[p]), outBytes[p])
+		}
 	}
 	placed := make([]sim.Placed, len(costs))
 	for i, cost := range costs {

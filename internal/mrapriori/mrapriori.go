@@ -130,6 +130,7 @@ func MineContext(ctx context.Context, runner *mapreduce.Runner, fs *dfs.FileSyst
 		return nil, fmt.Errorf("mrapriori: %s holds no transactions", inputPath)
 	}
 	minCount := minSupportCount(cfg.MinSupport, n)
+	rec.ObservePass("mapreduce", 1, int(n))
 
 	kvs, err := mapreduce.ReadOutput(fs, out1, nil)
 	if err != nil {
@@ -173,6 +174,9 @@ func MineContext(ctx context.Context, runner *mapreduce.Runner, fs *dfs.FileSyst
 		}
 		rec.SetPass(k)
 		passMark = rec.Counters()
+		for i, cands := range batch {
+			rec.ObservePass("mapreduce", k+i, len(cands))
+		}
 		levels, rep, err := runCountJob(ctx, runner, fs, inputPath, workDir, k, batch, minCount, reducers, cfg.NumMapTasks)
 		if err != nil {
 			return nil, fmt.Errorf("mrapriori: pass %d: %w", k, err)

@@ -51,12 +51,21 @@ func WriteChromeTrace(w io.Writer, r *Recorder) error {
 	var t time.Duration
 	for _, job := range jobs {
 		jobStart := t
-		events = append(events, traceEvent{
+		jobEvent := traceEvent{
 			Name: job.Name, Cat: "job", Ph: "X",
 			Ts: micros(jobStart), Dur: micros(job.Duration()),
 			Pid: driverPid, Tid: jobLaneTid,
 			Args: map[string]any{"engine": job.Engine, "pass": job.Pass},
-		})
+		}
+		if job.Open {
+			// A job interrupted mid-flight has no end: emit a begin event
+			// with no duration instead of a zero-length complete event, so
+			// the trace stays well-formed and viewers render it open-ended.
+			jobEvent.Ph = "B"
+			jobEvent.Dur = 0
+			jobEvent.Args["open"] = true
+		}
+		events = append(events, jobEvent)
 		t += job.Overhead
 		for _, st := range job.Stages {
 			events = append(events, traceEvent{

@@ -121,3 +121,74 @@ func TestChromeTraceEmptyRecorder(t *testing.T) {
 		}
 	}
 }
+
+// TestChromeTracePartialFlush is the interrupted-run regression: a job still
+// open when the trace is written must export as a well-formed open-ended
+// begin event, and the whole file must stay valid JSON.
+func TestChromeTracePartialFlush(t *testing.T) {
+	r := sampleRecorder()
+	r.BeginJob("rdd", "collect(L3)")
+	r.AddStage(StageSpan{
+		Name:     "inflight",
+		Makespan: 2e6,
+		Tasks:    []TaskSpan{{Index: 0, Node: 0, End: 2e6, Attempts: 1}},
+	})
+	// No EndJob: the run was interrupted here.
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("partial trace is not valid JSON: %v", err)
+	}
+
+	var open, closed int
+	for _, e := range tf.TraceEvents {
+		if e.Cat != "job" {
+			continue
+		}
+		switch e.Ph {
+		case "B":
+			open++
+			if e.Name != "collect(L3)" {
+				t.Fatalf("wrong job exported open: %+v", e)
+			}
+			if e.Dur != 0 || e.Args["open"] != true {
+				t.Fatalf("open job event malformed: %+v", e)
+			}
+		case "X":
+			closed++
+		default:
+			t.Fatalf("unexpected job event phase %q", e.Ph)
+		}
+	}
+	if open != 1 || closed != 2 {
+		t.Fatalf("jobs: %d open, %d closed; want 1 and 2", open, closed)
+	}
+
+	// The in-flight job's recorded stage still exports normally.
+	found := false
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "stage" && e.Name == "inflight" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("open job's recorded stage missing from trace")
+	}
+
+	// Snapshotting must not perturb the recorder: the job is still open and
+	// a second export is byte-identical.
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-exporting the same partial run changed bytes")
+	}
+	if jobs := r.Jobs(); len(jobs) != 3 || !jobs[2].Open {
+		t.Fatalf("export perturbed recorder: %+v", jobs)
+	}
+}

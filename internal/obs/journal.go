@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// The event journal is the replayable flat view of a run: one JSON object
+// per line, each stamped with its virtual timestamp in microseconds,
+// covering job and stage boundaries, task retries, and shuffle lifecycle
+// events. Two identical runs journal identical bytes, so runs can be diffed
+// line by line; the journal is also cheap to stream, unlike the nested span
+// tree.
+
+// journalEntry is one journal line. Fields are pointers-free and
+// omitempty-heavy so each event kind prints only what it carries.
+type journalEntry struct {
+	TsUs       float64 `json:"ts_us"`
+	Event      string  `json:"event"`
+	Engine     string  `json:"engine,omitempty"`
+	Job        string  `json:"job,omitempty"`
+	Pass       int     `json:"pass,omitempty"`
+	Stage      string  `json:"stage,omitempty"`
+	Task       int     `json:"task,omitempty"`
+	Node       int     `json:"node,omitempty"`
+	Attempts   int     `json:"attempts,omitempty"`
+	Tasks      int     `json:"tasks,omitempty"`
+	Name       string  `json:"name,omitempty"`
+	Slices     int64   `json:"slices,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	DurationUs float64 `json:"duration_us,omitempty"`
+	Open       bool    `json:"open,omitempty"`
+}
+
+// WriteJournal exports the recorded run as a JSONL event journal. The
+// virtual timeline is reconstructed the same way the Chrome trace walks it:
+// jobs run back to back, each paying its overhead before its stages; shuffle
+// lifecycle events recorded between jobs appear between the corresponding
+// job_finish and job_start lines. A job still open when the journal is
+// written emits job_start (and its stages) but no job_finish.
+func WriteJournal(w io.Writer, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	jobs := r.Jobs()
+	events := r.Events()
+
+	// flush emits every lifecycle event anchored after `closed` jobs.
+	var t time.Duration
+	flush := func(closed int) error {
+		for _, ev := range events {
+			if ev.Job != closed {
+				continue
+			}
+			if err := enc.Encode(journalEntry{
+				TsUs: micros(t), Event: ev.Kind, Name: ev.Name,
+				Slices: ev.Slices, Bytes: ev.Bytes,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i, job := range jobs {
+		if err := flush(i); err != nil {
+			return err
+		}
+		if err := enc.Encode(journalEntry{
+			TsUs: micros(t), Event: "job_start",
+			Engine: job.Engine, Job: job.Name, Pass: job.Pass, Open: job.Open,
+		}); err != nil {
+			return err
+		}
+		t += job.Overhead
+		for _, st := range job.Stages {
+			if err := enc.Encode(journalEntry{
+				TsUs: micros(t), Event: "stage_start",
+				Engine: job.Engine, Job: job.Name, Pass: job.Pass,
+				Stage: st.Name, Tasks: len(st.Tasks),
+			}); err != nil {
+				return err
+			}
+			body := t + st.Overhead
+			for _, task := range st.Tasks {
+				if task.Attempts <= 1 {
+					continue
+				}
+				if err := enc.Encode(journalEntry{
+					TsUs: micros(body + task.Start), Event: "task_retry",
+					Engine: job.Engine, Job: job.Name, Pass: job.Pass,
+					Stage: st.Name, Task: task.Index, Node: task.Node,
+					Attempts: task.Attempts,
+				}); err != nil {
+					return err
+				}
+			}
+			t += st.Makespan
+			if err := enc.Encode(journalEntry{
+				TsUs: micros(t), Event: "stage_finish",
+				Engine: job.Engine, Job: job.Name, Pass: job.Pass,
+				Stage: st.Name, Tasks: len(st.Tasks),
+				DurationUs: micros(st.Makespan),
+			}); err != nil {
+				return err
+			}
+		}
+		if job.Open {
+			continue
+		}
+		if err := enc.Encode(journalEntry{
+			TsUs: micros(t), Event: "job_finish",
+			Engine: job.Engine, Job: job.Name, Pass: job.Pass,
+			DurationUs: micros(job.Duration()),
+		}); err != nil {
+			return err
+		}
+	}
+	return flush(len(jobs))
+}

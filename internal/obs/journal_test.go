@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// journalRecorder is sampleRecorder plus lifecycle events between and after
+// the jobs, so anchoring is observable.
+func journalRecorder() *Recorder {
+	r := New()
+	r.SetPass(1)
+	r.BeginJob("rdd", "collect(L1)")
+	r.AddStage(StageSpan{
+		Name:     "count",
+		Overhead: time.Millisecond,
+		Makespan: 5 * time.Millisecond,
+		Tasks: []TaskSpan{
+			{Index: 0, Node: 0, End: 2 * time.Millisecond, Attempts: 1},
+			{Index: 1, Node: 1, End: 4 * time.Millisecond, Attempts: 2},
+		},
+	})
+	r.EndJob(2 * time.Millisecond)
+
+	// Fired after job 0 closed: must land between job 0's finish and job 1's
+	// start on the reconstructed timeline.
+	r.AddEvent("shuffle_free", "count", 4, 4096)
+
+	r.SetPass(2)
+	r.BeginJob("mapreduce", "countC2")
+	r.AddStage(StageSpan{
+		Name:     "countC2:map",
+		Makespan: 7 * time.Millisecond,
+		Tasks:    []TaskSpan{{Index: 0, Node: 2, End: 7 * time.Millisecond, Attempts: 1}},
+	})
+	r.EndJob(time.Millisecond)
+
+	// Fired after everything: must be the journal's last line.
+	r.AddEvent("shuffle_drop", "countC2:map", 1, 512)
+	return r
+}
+
+// decodeJournal parses a JSONL journal, failing the test on any malformed
+// line.
+func decodeJournal(t *testing.T, out string) []journalEntry {
+	t.Helper()
+	var entries []journalEntry
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+func TestJournalEventSequence(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJournal(&buf, journalRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	entries := decodeJournal(t, buf.String())
+
+	var kinds []string
+	for _, e := range entries {
+		kinds = append(kinds, e.Event)
+	}
+	want := []string{
+		"job_start", "stage_start", "task_retry", "stage_finish", "job_finish",
+		"shuffle_free",
+		"job_start", "stage_start", "stage_finish", "job_finish",
+		"shuffle_drop",
+	}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Fatalf("event sequence:\n got %v\nwant %v", kinds, want)
+	}
+
+	// Virtual timestamps never go backwards.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].TsUs < entries[i-1].TsUs {
+			t.Fatalf("timestamp regressed at line %d: %v after %v",
+				i+1, entries[i].TsUs, entries[i-1].TsUs)
+		}
+	}
+
+	// The between-jobs event is stamped at job 0's finish time and before
+	// job 1 starts.
+	free := entries[5]
+	if free.Event != "shuffle_free" || free.Name != "count" ||
+		free.Slices != 4 || free.Bytes != 4096 {
+		t.Fatalf("shuffle_free entry = %+v", free)
+	}
+	if free.TsUs != entries[4].TsUs || free.TsUs != entries[6].TsUs {
+		t.Fatalf("shuffle_free not anchored between jobs: %v (finish %v, next start %v)",
+			free.TsUs, entries[4].TsUs, entries[6].TsUs)
+	}
+
+	// The retry line carries task coordinates; the stage_finish line carries
+	// the stage makespan.
+	retry := entries[2]
+	if retry.Task != 1 || retry.Node != 1 || retry.Attempts != 2 || retry.Stage != "count" {
+		t.Fatalf("task_retry entry = %+v", retry)
+	}
+	if fin := entries[3]; fin.DurationUs != micros(5*time.Millisecond) || fin.Tasks != 2 {
+		t.Fatalf("stage_finish entry = %+v", fin)
+	}
+
+	// job_finish duration is overhead + makespan; the second job starts
+	// exactly when the first job's duration elapsed.
+	if fin := entries[4]; fin.DurationUs != micros(7*time.Millisecond) {
+		t.Fatalf("job_finish duration = %v", fin.DurationUs)
+	}
+	if entries[6].TsUs != micros(7*time.Millisecond) || entries[6].Pass != 2 {
+		t.Fatalf("second job_start = %+v", entries[6])
+	}
+}
+
+// TestJournalOpenJob checks the partial-flush contract: a job still running
+// journals its start and recorded stages but no finish line.
+func TestJournalOpenJob(t *testing.T) {
+	r := journalRecorder()
+	r.BeginJob("rdd", "collect(L3)")
+	r.AddStage(StageSpan{Name: "inflight", Makespan: time.Millisecond})
+	// No EndJob: the run was interrupted here.
+
+	var buf bytes.Buffer
+	if err := WriteJournal(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	entries := decodeJournal(t, buf.String())
+
+	var open *journalEntry
+	finishes := 0
+	for i, e := range entries {
+		if e.Event == "job_start" && e.Job == "collect(L3)" {
+			open = &entries[i]
+		}
+		if e.Event == "job_finish" {
+			finishes++
+		}
+	}
+	if open == nil || !open.Open {
+		t.Fatalf("open job's start line missing or not marked open: %+v", open)
+	}
+	if finishes != 2 {
+		t.Fatalf("journal has %d job_finish lines, want 2 (open job must not finish)", finishes)
+	}
+	last := entries[len(entries)-1]
+	if last.Event != "stage_finish" || last.Stage != "inflight" {
+		t.Fatalf("journal should end with the in-flight stage, got %+v", last)
+	}
+}
+
+// TestJournalDeterministic checks the diffability promise: identical runs
+// journal identical bytes.
+func TestJournalDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteJournal(&a, journalRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJournal(&b, journalRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recorders journaled different bytes")
+	}
+}
+
+func TestJournalEmptyAndNil(t *testing.T) {
+	for _, r := range []*Recorder{nil, New()} {
+		var buf bytes.Buffer
+		if err := WriteJournal(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("empty recorder journaled %q", buf.String())
+		}
+	}
+}

@@ -178,6 +178,10 @@ type JobSpan struct {
 	Pass     int           `json:"pass"`     // mining pass k (0 = outside any pass)
 	Overhead time.Duration `json:"overhead"` // startup time before the first stage
 	Stages   []StageSpan   `json:"stages"`
+	// Open marks a job snapshot taken while the job was still running (a
+	// live scrape, or a partial flush after an interrupt): its Overhead is
+	// unknown and more stages may follow.
+	Open bool `json:"open,omitempty"`
 }
 
 // Duration returns the job's total virtual time, matching sim.JobReport:
@@ -200,6 +204,21 @@ type Recorder struct {
 	jobs     []JobSpan
 	cur      *JobSpan
 	pass     int
+	reg      *Registry
+	events   []Event
+}
+
+// Event is one discrete lifecycle occurrence outside the span tree — shuffle
+// state reclaimed at a pass boundary, or map output dropped with a lost node.
+// Job anchors the event on the virtual timeline: it is the number of jobs
+// already closed when the event fired, so replay tools order events between
+// job i-1 finishing and job i starting.
+type Event struct {
+	Job    int    `json:"job"`
+	Kind   string `json:"kind"` // "shuffle_free" or "shuffle_drop"
+	Name   string `json:"name"` // shuffle (stage) name
+	Slices int64  `json:"slices"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // New creates an empty recorder.
@@ -235,7 +254,8 @@ func (r *Recorder) BeginJob(engine, name string) {
 }
 
 // AddStage appends a completed stage to the open job. A stage recorded
-// outside any job is attached to a synthetic job of the same name.
+// outside any job is attached to a synthetic job of the same name. Each
+// task's scheduled duration also feeds the per-engine duration histogram.
 func (r *Recorder) AddStage(s StageSpan) {
 	if r == nil {
 		return
@@ -246,6 +266,19 @@ func (r *Recorder) AddStage(s StageSpan) {
 		r.cur = &JobSpan{Engine: "unknown", Name: s.Name, Pass: r.pass}
 	}
 	r.cur.Stages = append(r.cur.Stages, s)
+	if len(s.Tasks) > 0 {
+		reg := r.metricsLocked()
+		engine := r.cur.Engine
+		h := reg.Histogram("yafim_task_duration_seconds",
+			"Virtual duration of each scheduled task attempt interval.",
+			DurationBuckets, "engine", engine)
+		for _, t := range s.Tasks {
+			h.Observe(t.Duration().Seconds())
+		}
+		reg.Counter("yafim_tasks_total",
+			"Tasks scheduled, by engine.", "engine", engine).
+			Add(float64(len(s.Tasks)))
+	}
 }
 
 // EndJob closes the open job span, recording its final startup/driver
@@ -264,16 +297,115 @@ func (r *Recorder) EndJob(overhead time.Duration) {
 	r.cur = nil
 }
 
-// Jobs returns a copy of every completed job span, in execution order.
+// Jobs returns a copy of every recorded job span, in execution order. A job
+// still running is included as a trailing snapshot with Open set, so partial
+// flushes (an interrupt mid-job) and live scrapes see the stages recorded so
+// far instead of silently losing the in-flight job.
 func (r *Recorder) Jobs() []JobSpan {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]JobSpan, len(r.jobs))
+	out := make([]JobSpan, len(r.jobs), len(r.jobs)+1)
 	copy(out, r.jobs)
+	if r.cur != nil {
+		open := *r.cur
+		open.Open = true
+		open.Stages = append([]StageSpan(nil), r.cur.Stages...)
+		out = append(out, open)
+	}
 	return out
+}
+
+// Metrics returns the recorder's metrics registry, creating it on first use.
+// Nil recorders return a nil registry, on which every operation is a no-op.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metricsLocked()
+}
+
+// metricsLocked lazily creates the registry; callers hold r.mu. Lock order
+// is always Recorder.mu before Registry.mu, never the reverse.
+func (r *Recorder) metricsLocked() *Registry {
+	if r.reg == nil {
+		r.reg = NewRegistry()
+	}
+	return r.reg
+}
+
+// AddEvent records one lifecycle event, anchored after the most recently
+// closed job.
+func (r *Recorder) AddEvent(kind, name string, slices, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Job: len(r.jobs), Kind: kind, Name: name, Slices: slices, Bytes: bytes,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded lifecycle events, in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// ObservePass records the shape of one mining pass: the lattice depth k the
+// engine has reached and the candidate-set size it is about to count. This
+// is the per-pass workload signal the data-structure study (which kernel
+// wins depends on candidate count and depth) needs from production runs.
+func (r *Recorder) ObservePass(engine string, k, candidates int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg := r.metricsLocked()
+	reg.Gauge("yafim_pass_depth",
+		"Deepest mining pass the engine has started.", "engine", engine).
+		Set(float64(k))
+	reg.Histogram("yafim_candidate_set_size",
+		"Candidate itemsets generated per mining pass.",
+		CountBuckets, "engine", engine).
+		Observe(float64(candidates))
+	reg.Counter("yafim_candidates_total",
+		"Candidate itemsets generated across all passes.", "engine", engine).
+		Add(float64(candidates))
+}
+
+// ObservePartitionOutput records the output volume of one task's partition
+// (rows emitted and their serialized bytes) — the raw material of the
+// per-stage skew analysis.
+func (r *Recorder) ObservePartitionOutput(engine, stage string, rows int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg := r.metricsLocked()
+	reg.Histogram("yafim_partition_output_rows",
+		"Rows emitted per task partition.", CountBuckets, "engine", engine).
+		Observe(float64(rows))
+	reg.Histogram("yafim_partition_output_bytes",
+		"Bytes emitted per task partition.", SizeBuckets, "engine", engine).
+		Observe(float64(bytes))
+	// Stage names are low-cardinality here (one per pass and phase), so a
+	// per-stage total is affordable and locates skew without the span tree.
+	reg.Counter("yafim_stage_output_rows_total",
+		"Rows emitted per stage across all its partitions.",
+		"engine", engine, "stage", stage).
+		Add(float64(rows))
 }
 
 // Counters returns a snapshot of the counter totals.
@@ -365,14 +497,25 @@ func (r *Recorder) AddShuffleBytes(n int64) {
 
 // AddShuffleResident adjusts the shuffle-resident-bytes gauge by the signed
 // delta n: positive when a map task's output is committed to executor
-// memory, negative when it is freed, invalidated, or lost with a node.
+// memory, negative when it is freed, invalidated, or lost with a node. The
+// running level also feeds the registry: a live gauge plus a histogram of
+// the levels seen after each change, i.e. resident bytes over time.
 func (r *Recorder) AddShuffleResident(n int64) {
 	if r == nil || n == 0 {
 		return
 	}
 	r.mu.Lock()
 	r.counters.ShuffleResidentBytes += n
+	level := r.counters.ShuffleResidentBytes
+	reg := r.metricsLocked()
 	r.mu.Unlock()
+	reg.Gauge("yafim_shuffle_resident_bytes_live",
+		"Map-output bytes currently resident in executor memory.").
+		Set(float64(level))
+	reg.Histogram("yafim_shuffle_resident_bytes_levels",
+		"Resident shuffle byte levels observed after each commit or free.",
+		SizeBuckets).
+		Observe(float64(level))
 }
 
 // AddShuffleFrees records n map-output slices reclaimed (Unpersist, the

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The live serving surface: an opt-in net/http handler that exposes the
+// recorder while a run is in flight. Endpoints:
+//
+//	/metrics    Prometheus text exposition (flat counters + registry)
+//	/diag       the human-readable diagnosis of everything recorded so far
+//	/diag.json  the machine-readable Diagnosis
+//	/journal    the JSONL event journal so far
+//	/debug/pprof/...  the standard Go profiling endpoints
+//
+// Every request re-reads the recorder, so scraping during a run observes the
+// in-flight job via the Open snapshot — and observes nothing into the run:
+// all reads copy under the recorder mutex and never touch the ledger.
+
+// Handler serves the fixed recorder with the given analysis options.
+func Handler(rec *Recorder, opts AnalyzeOptions) http.Handler {
+	return HandlerFunc(func() (*Recorder, AnalyzeOptions) { return rec, opts })
+}
+
+// HandlerFunc serves whatever recorder source returns at request time,
+// letting callers swap recorders between experiment runs without restarting
+// the listener. A nil recorder serves empty documents, not errors, so
+// scrapes before the first run are clean.
+func HandlerFunc(source func() (*Recorder, AnalyzeOptions)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		rec, _ := source()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, rec); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/diag", func(w http.ResponseWriter, req *http.Request) {
+		rec, opts := source()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := WriteDiagnosis(w, Analyze(rec, opts)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/diag.json", func(w http.ResponseWriter, req *http.Request) {
+		rec, opts := source()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Analyze(rec, opts)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, req *http.Request) {
+		rec, _ := source()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := WriteJournal(w, rec); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("yafim diagnosis endpoints:\n" +
+			"  /metrics     Prometheus text format\n" +
+			"  /diag        human-readable diagnosis\n" +
+			"  /diag.json   machine-readable diagnosis\n" +
+			"  /journal     JSONL event journal\n" +
+			"  /debug/pprof profiling\n"))
+	})
+	return mux
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches path from the test server and returns the response and body.
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+// TestHandlerEndpoints exercises the serving surface over a real TCP
+// listener, the way an operator would scrape it during a run.
+func TestHandlerEndpoints(t *testing.T) {
+	rec := sampleRecorder()
+	rec.ObservePass("rdd", 2, 130)
+	srv := httptest.NewServer(Handler(rec, AnalyzeOptions{}))
+	defer srv.Close()
+
+	t.Run("metrics", func(t *testing.T) {
+		resp, body := get(t, srv, "/metrics")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+			t.Fatalf("content type = %q", ct)
+		}
+		checkPrometheusText(t, body)
+		for _, want := range []string{
+			"yafim_cache_hits 1",
+			"yafim_task_duration_seconds_count",
+			`yafim_pass_depth{engine="rdd"} 2`,
+			"yafim_candidate_set_size_bucket",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	})
+
+	t.Run("diag", func(t *testing.T) {
+		resp, body := get(t, srv, "/diag")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		for _, want := range []string{"makespan", "critical path", "stage count"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/diag missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("diag.json", func(t *testing.T) {
+		resp, body := get(t, srv, "/diag.json")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q", ct)
+		}
+		var d Diagnosis
+		if err := json.Unmarshal([]byte(body), &d); err != nil {
+			t.Fatalf("/diag.json is not a Diagnosis: %v", err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("served diagnosis invalid: %v", err)
+		}
+		if len(d.Stages) != 3 {
+			t.Fatalf("served diagnosis has %d stages, want 3", len(d.Stages))
+		}
+	})
+
+	t.Run("journal", func(t *testing.T) {
+		resp, body := get(t, srv, "/journal")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type = %q", ct)
+		}
+		entries := decodeJournal(t, body)
+		if entries[0].Event != "job_start" {
+			t.Fatalf("journal starts with %+v", entries[0])
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		resp, body := get(t, srv, "/debug/pprof/")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if !strings.Contains(body, "goroutine") {
+			t.Fatalf("/debug/pprof/ index unexpected:\n%.200s", body)
+		}
+	})
+
+	t.Run("index", func(t *testing.T) {
+		resp, body := get(t, srv, "/")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		for _, want := range []string{"/metrics", "/diag", "/journal", "/debug/pprof"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("index missing %q", want)
+			}
+		}
+	})
+
+	t.Run("unknown", func(t *testing.T) {
+		resp, _ := get(t, srv, "/no-such-page")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+// TestHandlerLiveScrape checks that scraping mid-run observes the open job
+// without perturbing the recorder.
+func TestHandlerLiveScrape(t *testing.T) {
+	rec := New()
+	rec.BeginJob("rdd", "collect(L1)")
+	rec.AddStage(StageSpan{Name: "count", Makespan: 1e6})
+	// Job still open: this is a scrape during the run.
+	srv := httptest.NewServer(Handler(rec, AnalyzeOptions{}))
+	defer srv.Close()
+
+	_, body := get(t, srv, "/journal")
+	entries := decodeJournal(t, body)
+	if !entries[0].Open {
+		t.Fatalf("live scrape did not mark the in-flight job open: %+v", entries[0])
+	}
+
+	_, body = get(t, srv, "/diag")
+	if !strings.Contains(body, "count") {
+		t.Fatalf("live diagnosis missing in-flight stage:\n%s", body)
+	}
+
+	// The scrape must not have closed or mutated the job.
+	jobs := rec.Jobs()
+	if len(jobs) != 1 || !jobs[0].Open {
+		t.Fatalf("scrape perturbed recorder state: %+v", jobs)
+	}
+}
+
+// TestHandlerFuncSwapsAndNil checks the experiment-runner contract: the
+// source is consulted per request, and a nil recorder serves empty documents
+// rather than errors.
+func TestHandlerFuncSwapsAndNil(t *testing.T) {
+	var current *Recorder
+	srv := httptest.NewServer(HandlerFunc(func() (*Recorder, AnalyzeOptions) {
+		return current, AnalyzeOptions{}
+	}))
+	defer srv.Close()
+
+	// Before any run: clean empty responses.
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("nil-recorder /metrics = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv, "/journal")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("nil-recorder /journal = %d %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv, "/diag")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-recorder /diag = %d", resp.StatusCode)
+	}
+
+	// A run starts: the same listener now serves it.
+	current = sampleRecorder()
+	_, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, "yafim_cache_hits 1") {
+		t.Fatal("swapped-in recorder not served")
+	}
+}

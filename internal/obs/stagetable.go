@@ -61,6 +61,20 @@ func StageTable(r *Recorder) []StageStats {
 	return out
 }
 
+// maxNameWidth caps the job and stage name columns so one generated name
+// (e.g. a deep lineage string) cannot blow the whole table's alignment.
+const maxNameWidth = 40
+
+// truncName shortens s to maxNameWidth runes, marking the cut with an
+// ellipsis.
+func truncName(s string) string {
+	runes := []rune(s)
+	if len(runes) <= maxNameWidth {
+		return s
+	}
+	return string(runes[:maxNameWidth-1]) + "…"
+}
+
 // WriteStageTable renders the Spark-Web-UI-style stage table: one row per
 // executed stage with task count, makespan, and the min/mean/max task-time
 // spread, flagging straggler-skewed stages.
@@ -73,7 +87,7 @@ func WriteStageTable(w io.Writer, r *Recorder) error {
 			skew = "STRAGGLER"
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%v\t%v\t%v\t%v\t%s\n",
-			row.Job, row.Pass, row.Stage, row.Tasks, row.Retries,
+			truncName(row.Job), row.Pass, truncName(row.Stage), row.Tasks, row.Retries,
 			row.Makespan.Round(time.Microsecond),
 			row.MinTask.Round(time.Microsecond),
 			row.MeanTask.Round(time.Microsecond),

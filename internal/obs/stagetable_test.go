@@ -89,3 +89,84 @@ func TestWriteStageTableAndCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestStageTableTruncatesLongNames checks the table caps pathological job and
+// stage names (deep lineage strings) rune-safely.
+func TestStageTableTruncatesLongNames(t *testing.T) {
+	longJob := strings.Repeat("collectWithDependencies.", 5) // 120 runes
+	longStage := strings.Repeat("ü", maxNameWidth+20)        // multi-byte runes
+	r := New()
+	r.BeginJob("rdd", longJob)
+	r.AddStage(StageSpan{
+		Name:     longStage,
+		Makespan: time.Millisecond,
+		Tasks:    []TaskSpan{{End: time.Millisecond, Attempts: 1}},
+	})
+	r.EndJob(0)
+
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, longJob) || strings.Contains(out, longStage) {
+		t.Fatalf("full-length name leaked into the table:\n%s", out)
+	}
+	if !strings.Contains(out, "…") {
+		t.Fatalf("truncation not marked:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if n := len([]rune(line)); n > 200 {
+			t.Fatalf("table row blew up to %d runes:\n%s", n, line)
+		}
+	}
+
+	// StageTable itself reports the untruncated names; only rendering caps.
+	rows := StageTable(r)
+	if rows[0].Job != longJob || rows[0].Stage != longStage {
+		t.Fatalf("stats rows lost the full names: %+v", rows[0])
+	}
+}
+
+// TestStageTableManyTasks checks wide stages (>999 tasks) keep correct stats
+// and render without column breakage.
+func TestStageTableManyTasks(t *testing.T) {
+	const n = 1200
+	tasks := make([]TaskSpan, n)
+	for i := range tasks {
+		tasks[i] = TaskSpan{
+			Index:    i,
+			Node:     i % 8,
+			End:      time.Duration(i+1) * time.Microsecond,
+			Attempts: 1,
+		}
+	}
+	r := New()
+	r.BeginJob("rdd", "wide")
+	r.AddStage(StageSpan{Name: "fanout", Makespan: n * time.Microsecond, Tasks: tasks})
+	r.EndJob(0)
+
+	rows := StageTable(r)
+	row := rows[0]
+	if row.Tasks != n {
+		t.Fatalf("tasks = %d, want %d", row.Tasks, n)
+	}
+	if row.MinTask != time.Microsecond || row.MaxTask != n*time.Microsecond {
+		t.Fatalf("spread = min %v max %v", row.MinTask, row.MaxTask)
+	}
+	if row.MeanTask != (n+1)*time.Microsecond/2 {
+		t.Fatalf("mean = %v", row.MeanTask)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("table rendered %d lines, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "1200") {
+		t.Fatalf("task count missing from row:\n%s", lines[1])
+	}
+}

@@ -106,6 +106,18 @@ func CombineByKey[K cmp.Ordered, V, C any](r *RDD[Pair[K, V]], name string,
 				bytes[p] = taskBytes(p)
 			}
 			st.core.commit(nil, bytes)
+			// Per-partition output shape for the skew analysis, observed
+			// driver-side after the stage committed so retried attempts are
+			// never double-counted and no task ledger is touched.
+			if rec := r.ctx.rec; rec.Enabled() {
+				for p := range st.buckets {
+					rows := 0
+					for _, b := range st.buckets[p] {
+						rows += len(b)
+					}
+					rec.ObservePartitionOutput("rdd", name+":map", rows, bytes[p])
+				}
+			}
 			return nil
 		}
 		if len(missing) == 0 {

@@ -172,13 +172,14 @@ func (st *shuffleCore) releaseAll(to shufflePhase) {
 		// does not pretend it was freed or failed.
 		return
 	}
-	var freed int64
+	var freed, freedBytes int64
 	for p, ok := range st.present {
 		if !ok {
 			continue
 		}
 		st.ctx.shuffleAccount(p, -st.mapBytes[p])
 		freed++
+		freedBytes += st.mapBytes[p]
 		st.present[p] = false
 		st.mapBytes[p] = 0
 	}
@@ -186,6 +187,7 @@ func (st *shuffleCore) releaseAll(to shufflePhase) {
 	st.phase = to
 	if to == shuffleFreed && freed > 0 {
 		st.ctx.rec.AddShuffleFrees(freed)
+		st.ctx.rec.AddEvent("shuffle_free", st.name, freed, freedBytes)
 	}
 }
 
@@ -198,19 +200,21 @@ func (st *shuffleCore) dropNode(node, nodes int) {
 	if st.phase != shuffleMapped {
 		return
 	}
-	var dropped int64
+	var dropped, droppedBytes int64
 	for p, ok := range st.present {
 		if !ok || p%nodes != node {
 			continue
 		}
 		st.ctx.shuffleAccount(p, -st.mapBytes[p])
 		dropped++
+		droppedBytes += st.mapBytes[p]
 		st.present[p] = false
 		st.mapBytes[p] = 0
 		st.dropData(p)
 	}
 	if dropped > 0 {
 		st.ctx.rec.AddShuffleFrees(dropped)
+		st.ctx.rec.AddEvent("shuffle_drop", st.name, dropped, droppedBytes)
 	}
 }
 

@@ -53,6 +53,14 @@ func (c Cost) IsZero() bool {
 	return c.CPUOps == 0 && c.DiskRead == 0 && c.DiskWrite == 0 && c.Net == 0
 }
 
+// Norm collapses the cost into a single cluster-independent magnitude (the
+// component sum). It is not a time estimate — use TaskTime for that — but it
+// orders tasks by how much data-dependent work they carry, which is what the
+// skew analysis needs when no cluster config is at hand.
+func (c Cost) Norm() float64 {
+	return c.CPUOps + float64(c.DiskRead) + float64(c.DiskWrite) + float64(c.Net)
+}
+
 // String renders the cost compactly for logs and reports, with byte fields
 // in human units.
 func (c Cost) String() string {

@@ -63,6 +63,20 @@ func localityWait(cfg cluster.Config) time.Duration {
 	return 10 * cfg.TaskLaunch
 }
 
+// ExpectedTaskTime is the service time the performance model predicts for a
+// task of cost c on a healthy node of cfg: the base TaskTime plus one task
+// launch per prior failed attempt, plus the remote-read penalty when the task
+// ran without data locality. The straggler analysis compares this against the
+// scheduled duration — a task that ran much longer than its cost predicts was
+// slowed by its environment (an injected node factor), not by its data.
+func ExpectedTaskTime(cfg cluster.Config, c Cost, relaunches int, remote bool) time.Duration {
+	d := TaskTime(cfg, c) + time.Duration(relaunches)*cfg.TaskLaunch
+	if remote {
+		d += remoteReadPenalty(cfg, c)
+	}
+	return d
+}
+
 // remoteReadPenalty is the extra time a non-local task spends pulling its
 // input across the network.
 func remoteReadPenalty(cfg cluster.Config, c Cost) time.Duration {

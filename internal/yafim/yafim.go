@@ -98,6 +98,7 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		return nil, fmt.Errorf("yafim: %s holds no transactions", path)
 	}
 	minCount := minSupportCount(cfg.MinSupport, n)
+	rec.ObservePass("rdd", 1, int(n))
 	res := &apriori.Result{MinSupport: minCount}
 	out := &apriori.Trace{Result: res}
 
@@ -149,6 +150,7 @@ func Mine(ctx *rdd.Context, fs *dfs.FileSystem, path string, cfg Config) (*aprio
 		if len(cands) == 0 {
 			break
 		}
+		rec.ObservePass("rdd", k, len(cands))
 		lk, err := countPass(ctx, trans, cands, minCount, parts, k, cfg.BruteForceMatching)
 		if err != nil {
 			return nil, fmt.Errorf("yafim: pass %d: %w", k, err)

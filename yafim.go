@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"net/http"
 	"time"
 
 	"yafim/internal/apriori"
@@ -122,10 +123,45 @@ type (
 	Counters = obs.Counters
 	// StageStats summarises one stage's task-time distribution.
 	StageStats = obs.StageStats
+	// Diagnosis is the analyzed view of a recorded run: critical path,
+	// per-stage skew, and straggler attribution.
+	Diagnosis = obs.Diagnosis
 )
 
 // NewRecorder creates an empty telemetry recorder.
 func NewRecorder() *Recorder { return obs.New() }
+
+// Diagnose analyzes a recorded run: the critical path through the span tree
+// (whose step durations sum exactly to the run's makespan), per-stage skew
+// (max/median task time, Gini over partition sizes, hot partitions) and
+// straggler attribution. cfg, when non-nil, should be the cluster the run
+// executed on; it lets the analysis separate environment-slowed tasks
+// (chaos stragglers) from genuinely heavy partitions by comparing scheduled
+// durations against cost-predicted ones.
+func Diagnose(rec *Recorder, cfg *Cluster) *Diagnosis {
+	return obs.Analyze(rec, obs.AnalyzeOptions{Cluster: cfg})
+}
+
+// WriteDiagnosis renders a diagnosis for humans: critical-path contributors,
+// skewed stages, hot partitions and attributed stragglers.
+var WriteDiagnosis = obs.WriteDiagnosis
+
+// WriteJournal exports a recorded run as a JSONL event journal: one line per
+// job/stage boundary, task retry and shuffle lifecycle event, each stamped
+// with its virtual timestamp. Identical runs journal identical bytes.
+var WriteJournal = obs.WriteJournal
+
+// WritePrometheus renders the recorder's metric surface (flat counters plus
+// histogram/gauge families) in the Prometheus text exposition format.
+var WritePrometheus = obs.WritePrometheus
+
+// ObsHandler serves a recorder over HTTP: Prometheus text at /metrics, the
+// diagnosis at /diag (text) and /diag.json, the event journal at /journal,
+// and net/http/pprof under /debug/pprof/. cfg has the same role as in
+// Diagnose. Wire it to a listener to observe a run while it executes.
+func ObsHandler(rec *Recorder, cfg *Cluster) http.Handler {
+	return obs.Handler(rec, obs.AnalyzeOptions{Cluster: cfg})
+}
 
 // Chaos engineering types, re-exported from the chaos package.
 type (
