@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt test race vet vuln check chaos diag fuzz-smoke bench bench-json clean
+.PHONY: build fmt test race vet vuln check chaos diag dist-smoke fuzz-smoke bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,25 @@ chaos:
 # makespan disagreeing with the engine clock, or engines disagreeing).
 diag:
 	$(GO) run ./cmd/experiments -exp diag -dataset T10I4D100K -scale 0.05 -diagchaos
+
+# dist-smoke proves the distributed runtime's crash story end to end, twice,
+# both under the race detector with hard timeouts: first the Go-level kill
+# test (two real worker processes, one SIGKILLed mid-pass, byte-identical
+# itemsets vs the in-memory sim oracle, plus the graceful SIGTERM drain),
+# then the CLI smoke mode, which forks its own workers and performs the same
+# kill-and-verify through cmd/yafim. Worker logs and the master's live
+# protocol journal land under artifacts/dist-smoke for CI to upload on
+# failure.
+DIST_SMOKE_DIR ?= artifacts/dist-smoke
+dist-smoke:
+	@mkdir -p $(DIST_SMOKE_DIR)
+	@$(GO) test -race -count=1 -v -timeout 300s \
+		-run 'TestKillWorkerMidMiningParity|TestWorkerDrainsOnSIGTERM' \
+		./internal/dist/ > $(DIST_SMOKE_DIR)/kill-test.log 2>&1; \
+		s=$$?; cat $(DIST_SMOKE_DIR)/kill-test.log; [ $$s -eq 0 ]
+	$(GO) build -race -o $(DIST_SMOKE_DIR)/yafim ./cmd/yafim
+	$(DIST_SMOKE_DIR)/yafim -dist smoke -dist-workers 2 \
+		-dist-logs $(DIST_SMOKE_DIR) -timeout 120s
 
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on top of
 # its seed corpus — enough to catch regressions in the determinism and

@@ -20,11 +20,27 @@
 // text at /metrics, the diagnosis at /diag and /diag.json, the journal at
 // /journal, and net/http/pprof under /debug/pprof/.
 //
+// Distributed mode (-dist) swaps the in-process simulation for the real
+// multi-process MapReduce runtime of internal/dist:
+//
+//	yafim -dist master -dist-addr :7077 -input retail.dat -support 0.01
+//	yafim -dist worker -dist-master http://host:7077          # on each worker
+//	yafim -dist smoke                                          # self-contained demo
+//
+// A master serves the worker protocol (registration, heartbeats, task
+// leases) plus live observability (/metrics, /dist/events) on -dist-addr,
+// waits for -dist-workers workers, then runs every mining pass as real map
+// and reduce tasks leased to the worker processes; -journal mirrors the live
+// protocol journal to a file as it happens. A worker joins the given master
+// and drains gracefully on SIGTERM. Smoke mode forks its own workers,
+// SIGKILLs one mid-run (disable with -dist-kill=false), and verifies the
+// surviving run's itemsets are byte-identical to the in-memory sim oracle.
+//
 // Runs are interruptible: -timeout bounds the real (wall-clock) time of the
 // mining run, and Ctrl-C (SIGINT) or SIGTERM cancels it at the next task
-// boundary. Either way the process exits cleanly — and if -trace or -stats
-// was requested, the telemetry recorded up to the cancellation point is
-// still written, so a partial timeline of an aborted run remains inspectable.
+// boundary. Every exit path — success, cancellation, deadline, mining error
+// — shuts the live HTTP surface down and flushes the telemetry recorded so
+// far, so a partial timeline of an aborted run remains inspectable.
 package main
 
 import (
@@ -33,9 +49,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	osexec "os/exec"
 	"os/signal"
 	"path/filepath"
 	"syscall"
@@ -51,7 +69,7 @@ func main() {
 	// context is done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, yafim.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "yafim: interrupted:", err)
 			os.Exit(130)
@@ -61,58 +79,126 @@ func main() {
 	}
 }
 
-func run(ctx context.Context) error {
-	var (
-		input    = flag.String("input", "", "transaction file in .dat format (required)")
-		support  = flag.Float64("support", 0.01, "relative minimum support in (0,1]")
-		engine   = flag.String("engine", "yafim", "engine: yafim, mapreduce, sequential, eclat, fpgrowth, son, dhp, partition, toivonen, disteclat, aprioritid")
-		mode     = flag.String("mode", "all", "itemsets to report: all, closed, maximal")
-		maxK     = flag.Int("maxk", 0, "stop after frequent itemsets of this size (0 = unbounded)")
-		nodes    = flag.Int("nodes", 0, "override simulated node count for parallel engines")
-		ruleConf = flag.Float64("rules", 0, "if > 0, derive association rules at this confidence")
-		top      = flag.Int("top", 20, "itemsets/rules to print per section")
-		quiet    = flag.Bool("q", false, "print only summary lines")
-		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the virtual timeline to this file")
-		stats    = flag.Bool("stats", false, "print per-stage skew table and counter totals")
-		chaosS   = flag.Int64("chaos", 0, "if != 0, inject the seeded chaos fault plan into parallel engines")
-		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
-		timeout  = flag.Duration("timeout", 0, "abort the mining run after this much real time (0 = no limit)")
-		listen   = flag.String("listen", "", "serve /metrics, /diag, /journal and /debug/pprof/ on this address while the run executes")
-		journal  = flag.String("journal", "", "write a JSONL event journal of the run's virtual timeline to this file")
-		diag     = flag.Bool("diag", false, "print the critical-path and skew diagnosis after the run")
-	)
-	flag.Parse()
-	if *input == "" {
-		flag.Usage()
+// cliFlags is the parsed command line, shared by the sim and dist modes.
+type cliFlags struct {
+	input    string
+	support  float64
+	engine   string
+	mode     string
+	maxK     int
+	nodes    int
+	ruleConf float64
+	top      int
+	quiet    bool
+	traceOut string
+	stats    bool
+	chaosS   int64
+	jsonOut  bool
+	timeout  time.Duration
+	listen   string
+	journal  string
+	diag     bool
+
+	dist        string
+	distAddr    string
+	distMaster  string
+	distWorkers int
+	distKill    bool
+	distLogs    string
+
+	supportSet bool
+}
+
+// run is the whole CLI behind a testable seam: flags come from args, output
+// goes to the writers, and every resource it opens (listeners, journals,
+// forked workers) is released on every return path.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("yafim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var f cliFlags
+	fs.StringVar(&f.input, "input", "", "transaction file in .dat format (required)")
+	fs.Float64Var(&f.support, "support", 0.01, "relative minimum support in (0,1]")
+	fs.StringVar(&f.engine, "engine", "yafim", "engine: yafim, mapreduce, sequential, eclat, fpgrowth, son, dhp, partition, toivonen, disteclat, aprioritid")
+	fs.StringVar(&f.mode, "mode", "all", "itemsets to report: all, closed, maximal")
+	fs.IntVar(&f.maxK, "maxk", 0, "stop after frequent itemsets of this size (0 = unbounded)")
+	fs.IntVar(&f.nodes, "nodes", 0, "override simulated node count for parallel engines")
+	fs.Float64Var(&f.ruleConf, "rules", 0, "if > 0, derive association rules at this confidence")
+	fs.IntVar(&f.top, "top", 20, "itemsets/rules to print per section")
+	fs.BoolVar(&f.quiet, "q", false, "print only summary lines")
+	fs.StringVar(&f.traceOut, "trace", "", "write Chrome trace-event JSON of the virtual timeline to this file")
+	fs.BoolVar(&f.stats, "stats", false, "print per-stage skew table and counter totals")
+	fs.Int64Var(&f.chaosS, "chaos", 0, "if != 0, inject the seeded chaos fault plan into parallel engines")
+	fs.BoolVar(&f.jsonOut, "json", false, "print a machine-readable JSON run summary instead of text")
+	fs.DurationVar(&f.timeout, "timeout", 0, "abort the mining run after this much real time (0 = no limit)")
+	fs.StringVar(&f.listen, "listen", "", "serve /metrics, /diag, /journal and /debug/pprof/ on this address while the run executes")
+	fs.StringVar(&f.journal, "journal", "", "write a JSONL event journal (virtual timeline, or live protocol events under -dist) to this file")
+	fs.BoolVar(&f.diag, "diag", false, "print the critical-path and skew diagnosis after the run")
+	fs.StringVar(&f.dist, "dist", "", "distributed mode: master, worker, or smoke (default: in-process simulation)")
+	fs.StringVar(&f.distAddr, "dist-addr", "127.0.0.1:7077", "master listen address for -dist master")
+	fs.StringVar(&f.distMaster, "dist-master", "", "master base URL for -dist worker (http://host:port)")
+	fs.IntVar(&f.distWorkers, "dist-workers", 2, "workers to wait for (-dist master) or to fork (-dist smoke)")
+	fs.BoolVar(&f.distKill, "dist-kill", true, "SIGKILL one forked worker mid-run under -dist smoke")
+	fs.StringVar(&f.distLogs, "dist-logs", "", "directory for worker logs and the master journal under -dist smoke (default: a temp dir)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "support" {
+			f.supportSet = true
+		}
+	})
+
+	switch f.dist {
+	case "":
+		return runSim(ctx, f, fs, stdout, stderr)
+	case "worker":
+		return runDistWorker(ctx, f, stderr)
+	case "master":
+		return runDistMaster(ctx, f, stdout, stderr)
+	case "smoke":
+		return runDistSmoke(ctx, f, stdout, stderr)
+	default:
+		return fmt.Errorf("unknown -dist mode %q (want master, worker or smoke)", f.dist)
+	}
+}
+
+// runSim is the classic single-process path: every engine runs on the
+// in-memory virtual-time cluster (or natively for the sequential engines).
+func runSim(ctx context.Context, f cliFlags, fs *flag.FlagSet, stdout, stderr io.Writer) error {
+	if f.input == "" {
+		fs.Usage()
 		return fmt.Errorf("-input is required")
 	}
-	eng, err := yafim.ParseEngine(*engine)
+	eng, err := yafim.ParseEngine(f.engine)
 	if err != nil {
 		return err
 	}
-	db, err := yafim.LoadFile(filepath.Base(*input), *input)
+	db, err := yafim.LoadFile(filepath.Base(f.input), f.input)
 	if err != nil {
 		return err
 	}
 	st := db.ComputeStats()
-	if !*jsonOut {
-		fmt.Printf("%s: %d transactions, %d items, avg length %.1f\n",
-			*input, st.NumTransactions, st.NumItems, st.AvgLength)
+	if !f.jsonOut {
+		fmt.Fprintf(stdout, "%s: %d transactions, %d items, avg length %.1f\n",
+			f.input, st.NumTransactions, st.NumItems, st.AvgLength)
 	}
 
-	opts := yafim.Options{Engine: eng, MaxK: *maxK, Deadline: *timeout}
-	if *traceOut != "" || *stats || *jsonOut || *listen != "" || *journal != "" || *diag {
+	opts := yafim.Options{Engine: eng, MaxK: f.maxK, Deadline: f.timeout}
+	if f.traceOut != "" || f.stats || f.jsonOut || f.listen != "" || f.journal != "" || f.diag {
 		opts.Recorder = yafim.NewRecorder()
 	}
-	if *chaosS != 0 {
-		opts.Chaos = yafim.DefaultChaosPlan(*chaosS)
+	if f.chaosS != 0 {
+		opts.Chaos = yafim.DefaultChaosPlan(f.chaosS)
 	}
-	if *nodes > 0 {
+	if f.nodes > 0 {
 		cfg := yafim.ClusterSpark()
 		if eng == yafim.EngineMapReduce {
 			cfg = yafim.ClusterHadoop()
 		}
-		cfg = cfg.WithNodes(*nodes)
+		cfg = cfg.WithNodes(f.nodes)
 		opts.Cluster = &cfg
 	}
 	// The cluster the diagnosis should judge task durations against: the
@@ -128,112 +214,136 @@ func run(ctx context.Context) error {
 			diagCluster = &c
 		}
 	}
-	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
+	if f.listen != "" {
+		ln, err := net.Listen("tcp", f.listen)
 		if err != nil {
 			return fmt.Errorf("-listen: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "yafim: serving diagnostics on http://%s/\n", ln.Addr())
+		fmt.Fprintf(stderr, "yafim: serving diagnostics on http://%s/\n", ln.Addr())
 		srv := &http.Server{Handler: yafim.ObsHandler(opts.Recorder, diagCluster)}
-		go srv.Serve(ln)
-		defer srv.Close()
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+		}()
+		// Joined, not just closed: the serve goroutine must be gone before
+		// run returns on any path, or an aborted run leaks it.
+		defer func() {
+			srv.Close() //nolint:errcheck
+			<-served
+		}()
 	}
 
-	trace, err := yafim.MineContext(ctx, db, *support, opts)
+	trace, err := yafim.MineContext(ctx, db, f.support, opts)
 	if err != nil {
-		// A canceled or timed-out run still flushes the telemetry captured so
-		// far: the partial timeline is exactly what explains where the time
-		// went before the abort.
-		if yafim.IsCancellation(err) && opts.Recorder != nil {
-			if *traceOut != "" {
-				if werr := writeTrace(*traceOut, opts.Recorder); werr != nil {
-					fmt.Fprintln(os.Stderr, "yafim: partial trace:", werr)
-				} else {
-					fmt.Fprintln(os.Stderr, "yafim: partial trace written to", *traceOut)
-				}
-			}
-			if *stats {
-				if werr := yafim.WriteStageTable(os.Stderr, opts.Recorder); werr != nil {
-					fmt.Fprintln(os.Stderr, "yafim: partial stage table:", werr)
-				}
-			}
-			if *journal != "" {
-				if werr := writeJournalFile(*journal, opts.Recorder); werr != nil {
-					fmt.Fprintln(os.Stderr, "yafim: partial journal:", werr)
-				} else {
-					fmt.Fprintln(os.Stderr, "yafim: partial journal written to", *journal)
-				}
-			}
-			if *diag {
-				if werr := yafim.WriteDiagnosis(os.Stderr, yafim.Diagnose(opts.Recorder, diagCluster)); werr != nil {
-					fmt.Fprintln(os.Stderr, "yafim: partial diagnosis:", werr)
-				}
-			}
-		}
+		// Every abort — SIGINT, -timeout deadline, or a mining error —
+		// still flushes the telemetry captured so far: the partial timeline
+		// is exactly what explains where the run was when it died.
+		flushPartial(f, opts.Recorder, diagCluster, stderr)
 		return err
 	}
 
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, opts.Recorder); err != nil {
+	if f.traceOut != "" {
+		if err := writeTrace(f.traceOut, opts.Recorder); err != nil {
 			return err
 		}
 	}
-	if *journal != "" {
-		if err := writeJournalFile(*journal, opts.Recorder); err != nil {
+	if f.journal != "" {
+		if err := writeJournalFile(f.journal, opts.Recorder); err != nil {
 			return err
 		}
 	}
-	if *jsonOut {
-		if *diag {
-			if err := yafim.WriteDiagnosis(os.Stderr, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
+	if f.jsonOut {
+		if f.diag {
+			if err := yafim.WriteDiagnosis(stderr, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
 				return err
 			}
 		}
-		return writeJSONSummary(os.Stdout, eng, *support, trace, opts.Recorder)
+		return writeJSONSummary(stdout, eng, f.support, trace, opts.Recorder)
 	}
 
-	fmt.Printf("engine=%s support=%g%% frequent=%d maxk=%d time=%v\n",
-		eng, *support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
+	fmt.Fprintf(stdout, "engine=%s support=%g%% frequent=%d maxk=%d time=%v\n",
+		eng, f.support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
 		trace.TotalDuration().Round(1e6))
-	if *stats {
-		if err := yafim.WriteStageTable(os.Stdout, opts.Recorder); err != nil {
+	if f.stats {
+		if err := yafim.WriteStageTable(stdout, opts.Recorder); err != nil {
 			return err
 		}
-		fmt.Println("counters:")
-		if err := yafim.WriteCounters(os.Stdout, opts.Recorder.Counters()); err != nil {
-			return err
-		}
-	}
-	if *diag {
-		if err := yafim.WriteDiagnosis(os.Stdout, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
+		fmt.Fprintln(stdout, "counters:")
+		if err := yafim.WriteCounters(stdout, opts.Recorder.Counters()); err != nil {
 			return err
 		}
 	}
-	if !*quiet {
-		printPasses(trace)
-		switch *mode {
+	if f.diag {
+		if err := yafim.WriteDiagnosis(stdout, yafim.Diagnose(opts.Recorder, diagCluster)); err != nil {
+			return err
+		}
+	}
+	return report(stdout, f, trace, db)
+}
+
+// flushPartial writes whatever telemetry an aborted run accumulated: the
+// Chrome trace and JSONL journal to their files, the stage table and
+// diagnosis to stderr. Best-effort by design — the run's own error is what
+// the caller returns; flush failures are only noted.
+func flushPartial(f cliFlags, rec *yafim.Recorder, diagCluster *yafim.Cluster, stderr io.Writer) {
+	if rec == nil {
+		return
+	}
+	if f.traceOut != "" {
+		if werr := writeTrace(f.traceOut, rec); werr != nil {
+			fmt.Fprintln(stderr, "yafim: partial trace:", werr)
+		} else {
+			fmt.Fprintln(stderr, "yafim: partial trace written to", f.traceOut)
+		}
+	}
+	if f.journal != "" {
+		if werr := writeJournalFile(f.journal, rec); werr != nil {
+			fmt.Fprintln(stderr, "yafim: partial journal:", werr)
+		} else {
+			fmt.Fprintln(stderr, "yafim: partial journal written to", f.journal)
+		}
+	}
+	if f.stats {
+		if werr := yafim.WriteStageTable(stderr, rec); werr != nil {
+			fmt.Fprintln(stderr, "yafim: partial stage table:", werr)
+		}
+	}
+	if f.diag {
+		if werr := yafim.WriteDiagnosis(stderr, yafim.Diagnose(rec, diagCluster)); werr != nil {
+			fmt.Fprintln(stderr, "yafim: partial diagnosis:", werr)
+		}
+	}
+}
+
+// report prints the human-readable tail of a successful run: passes,
+// itemsets in the requested mode, and association rules when asked for.
+func report(stdout io.Writer, f cliFlags, trace *yafim.Trace, db *yafim.DB) error {
+	if !f.quiet {
+		printPasses(stdout, trace)
+		switch f.mode {
 		case "all":
-			printItemsets(trace.Result, *top)
+			printItemsets(stdout, trace.Result, f.top)
 		case "closed":
-			printDerived("closed", trace.Result.Closed(), *top)
+			printDerived(stdout, "closed", trace.Result.Closed(), f.top)
 		case "maximal":
-			printDerived("maximal", trace.Result.Maximal(), *top)
+			printDerived(stdout, "maximal", trace.Result.Maximal(), f.top)
 		default:
-			return fmt.Errorf("unknown mode %q", *mode)
+			return fmt.Errorf("unknown mode %q", f.mode)
 		}
 	}
-	if *ruleConf > 0 {
-		rules, err := yafim.GenerateRules(trace.Result, *ruleConf, db.Len())
+	if f.ruleConf > 0 {
+		rules, err := yafim.GenerateRules(trace.Result, f.ruleConf, db.Len())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("rules (confidence >= %g): %d\n", *ruleConf, len(rules))
+		fmt.Fprintf(stdout, "rules (confidence >= %g): %d\n", f.ruleConf, len(rules))
 		for i, r := range rules {
-			if i >= *top {
-				fmt.Printf("  ... %d more\n", len(rules)-i)
+			if i >= f.top {
+				fmt.Fprintf(stdout, "  ... %d more\n", len(rules)-i)
 				break
 			}
-			fmt.Println(" ", r)
+			fmt.Fprintln(stdout, " ", r)
 		}
 	}
 	return nil
@@ -287,7 +397,7 @@ type jsonSummary struct {
 	Counters *yafim.Counters `json:"counters,omitempty"`
 }
 
-func writeJSONSummary(w *os.File, eng yafim.Engine, support float64,
+func writeJSONSummary(w io.Writer, eng yafim.Engine, support float64,
 	trace *yafim.Trace, rec *yafim.Recorder) error {
 	s := jsonSummary{
 		Engine:   eng.String(),
@@ -317,8 +427,8 @@ func writeJSONSummary(w *os.File, eng yafim.Engine, support float64,
 	return enc.Encode(s)
 }
 
-func printPasses(trace *yafim.Trace) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func printPasses(w io.Writer, trace *yafim.Trace) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "pass\tcandidates\tfrequent\ttime")
 	for _, p := range trace.Passes {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\n", p.K, p.Candidates, p.Frequent, p.Duration.Round(1e6))
@@ -326,29 +436,293 @@ func printPasses(trace *yafim.Trace) {
 	tw.Flush()
 }
 
-func printDerived(kind string, sets []yafim.SetCount, top int) {
-	fmt.Printf("%s itemsets: %d\n", kind, len(sets))
+func printDerived(w io.Writer, kind string, sets []yafim.SetCount, top int) {
+	fmt.Fprintf(w, "%s itemsets: %d\n", kind, len(sets))
 	for i, sc := range sets {
 		if i >= top {
-			fmt.Printf("  ... %d more\n", len(sets)-i)
+			fmt.Fprintf(w, "  ... %d more\n", len(sets)-i)
 			break
 		}
-		fmt.Printf("  %v  sup=%d\n", sc.Set, sc.Count)
+		fmt.Fprintf(w, "  %v  sup=%d\n", sc.Set, sc.Count)
 	}
 }
 
-func printItemsets(res *yafim.Result, top int) {
+func printItemsets(w io.Writer, res *yafim.Result, top int) {
 	printed := 0
 	for k := res.MaxK(); k >= 1 && printed < top; k-- {
 		for _, sc := range res.Frequent(k) {
 			if printed >= top {
 				break
 			}
-			fmt.Printf("  %v  sup=%d\n", sc.Set, sc.Count)
+			fmt.Fprintf(w, "  %v  sup=%d\n", sc.Set, sc.Count)
 			printed++
 		}
 	}
 	if total := res.NumFrequent(); total > printed {
-		fmt.Printf("  ... %d more (largest first)\n", total-printed)
+		fmt.Fprintf(w, "  ... %d more (largest first)\n", total-printed)
 	}
+}
+
+// runDistWorker joins the given master and serves until SIGINT/SIGTERM,
+// then drains gracefully (the in-flight task finishes and is reported).
+func runDistWorker(ctx context.Context, f cliFlags, stderr io.Writer) error {
+	if f.distMaster == "" {
+		return fmt.Errorf("-dist worker requires -dist-master http://host:port")
+	}
+	fmt.Fprintf(stderr, "yafim: worker joining %s\n", f.distMaster)
+	return yafim.RunDistWorker(ctx, yafim.DistWorkerOptions{MasterURL: f.distMaster})
+}
+
+// distJournal opens the live protocol journal for a dist-mode run. The
+// returned close runs on every exit path of the caller.
+func distJournal(path string) (*yafim.LiveLog, func(), error) {
+	if path == "" {
+		return yafim.NewLiveLog(nil), func() {}, nil
+	}
+	jf, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-journal: %w", err)
+	}
+	return yafim.NewLiveLog(jf), func() { jf.Close() }, nil
+}
+
+// runDistMaster serves the worker protocol on -dist-addr, waits for
+// -dist-workers workers to register, then mines -input across them.
+func runDistMaster(ctx context.Context, f cliFlags, stdout, stderr io.Writer) error {
+	if f.input == "" {
+		return fmt.Errorf("-dist master requires -input")
+	}
+	db, err := yafim.LoadFile(filepath.Base(f.input), f.input)
+	if err != nil {
+		return err
+	}
+	st := db.ComputeStats()
+	fmt.Fprintf(stdout, "%s: %d transactions, %d items, avg length %.1f\n",
+		f.input, st.NumTransactions, st.NumItems, st.AvgLength)
+
+	log, closeJournal, err := distJournal(f.journal)
+	if err != nil {
+		return err
+	}
+	defer closeJournal()
+	master, err := yafim.NewDistMaster(f.distAddr, yafim.DefaultDistTuning(), log, yafim.NewMetricsRegistry())
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	fmt.Fprintf(stderr, "yafim: master serving worker protocol on %s (journal: /dist/events, metrics: /metrics)\n", master.URL())
+	fmt.Fprintf(stderr, "yafim: waiting for %d worker(s); start them with: yafim -dist worker -dist-master %s\n",
+		f.distWorkers, master.URL())
+	if err := waitWorkers(ctx, master, f.distWorkers, 0); err != nil {
+		return err
+	}
+
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	trace, err := yafim.MineDistributed(ctx, master, f.input, f.support, yafim.Options{MaxK: f.maxK})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "engine=dist-mapreduce support=%g%% frequent=%d maxk=%d time=%v workers=%d\n",
+		f.support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
+		trace.TotalDuration().Round(1e6), master.LiveWorkers())
+	return report(stdout, f, trace, db)
+}
+
+// waitWorkers polls until at least n workers are registered and alive.
+// A zero deadline waits until ctx is canceled.
+func waitWorkers(ctx context.Context, master *yafim.DistMaster, n int, deadline time.Duration) error {
+	var expire <-chan time.Time
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	for master.LiveWorkers() < n {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-expire:
+			return fmt.Errorf("only %d of %d workers registered in %v", master.LiveWorkers(), n, deadline)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// runDistSmoke is the self-contained distributed demo and CI gate: fork
+// real worker processes, SIGKILL one the moment tasks start completing,
+// and verify the surviving run's itemsets match the in-memory sim oracle
+// byte for byte.
+func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) error {
+	logsDir := f.distLogs
+	if logsDir == "" {
+		var err error
+		if logsDir, err = os.MkdirTemp("", "yafim-dist-smoke-"); err != nil {
+			return err
+		}
+	} else if err := os.MkdirAll(logsDir, 0o755); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "yafim: smoke logs under %s\n", logsDir)
+
+	// The workload: the named input file, or a generated slice of the
+	// paper's MushRoom benchmark (dense, several candidate levels deep —
+	// plenty of passes for the kill to land mid-run).
+	input, support := f.input, f.support
+	if input == "" {
+		if !f.supportSet {
+			support = 0.35 // the paper's MushRoom threshold
+		}
+		db, err := yafim.GenDataset("MushRoom", 0.05, 2014)
+		if err != nil {
+			return err
+		}
+		input = filepath.Join(logsDir, "mushroom.dat")
+		if err := yafim.SaveFile(db, input); err != nil {
+			return err
+		}
+	}
+	db, err := yafim.LoadFile(filepath.Base(input), input)
+	if err != nil {
+		return err
+	}
+
+	// The oracle: same dataset and support on the in-memory sim.
+	oracle, err := yafim.MineContext(ctx, db, support, yafim.Options{
+		Engine: yafim.EngineMapReduce, MaxK: f.maxK,
+	})
+	if err != nil {
+		return fmt.Errorf("sim oracle: %w", err)
+	}
+
+	log, closeJournal, err := distJournal(filepath.Join(logsDir, "master-journal.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer closeJournal()
+	tuning := yafim.DistTuning{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+		LeaseDeadline:     60 * time.Second,
+	}
+	master, err := yafim.NewDistMaster("127.0.0.1:0", tuning, log, yafim.NewMetricsRegistry())
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+
+	if f.distWorkers < 2 && f.distKill {
+		return fmt.Errorf("-dist smoke needs -dist-workers >= 2 to survive a kill")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	workers := make([]*osexec.Cmd, 0, f.distWorkers)
+	logFiles := make([]*os.File, 0, f.distWorkers)
+	defer func() {
+		// Every exit path reaps every child: TERM first (graceful drain),
+		// KILL whatever ignores it.
+		for _, w := range workers {
+			if w.ProcessState == nil {
+				w.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+			}
+		}
+		for _, w := range workers {
+			if w.ProcessState == nil {
+				done := make(chan struct{})
+				go func(c *osexec.Cmd) { c.Wait(); close(done) }(w) //nolint:errcheck
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					w.Process.Kill() //nolint:errcheck
+					<-done
+				}
+			}
+		}
+		for _, lf := range logFiles {
+			lf.Close()
+		}
+	}()
+	for i := 0; i < f.distWorkers; i++ {
+		lf, err := os.Create(filepath.Join(logsDir, fmt.Sprintf("worker-%d.log", i)))
+		if err != nil {
+			return err
+		}
+		logFiles = append(logFiles, lf)
+		cmd := osexec.Command(exe, "-dist", "worker", "-dist-master", master.URL())
+		// The re-exec gate: a test binary hosting this code routes the
+		// child into run() when it sees this variable; the real yafim
+		// binary just parses the args.
+		cmd.Env = append(os.Environ(), "YAFIM_CLI_REEXEC=1")
+		cmd.Stdout = lf
+		cmd.Stderr = lf
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		workers = append(workers, cmd)
+	}
+	if err := waitWorkers(ctx, master, f.distWorkers, 30*time.Second); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "yafim: %d workers up, mining %s at support %g\n",
+		f.distWorkers, filepath.Base(input), support)
+
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+
+	// The assassin: at the first completed task, SIGKILL worker 0 — no
+	// drain, no deregistration; its map outputs die with it.
+	killed := make(chan struct{})
+	if f.distKill {
+		go func() {
+			defer close(killed)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+				for _, ev := range log.Events() {
+					if ev.Event == "task_complete" {
+						workers[0].Process.Kill() //nolint:errcheck
+						fmt.Fprintf(stderr, "yafim: SIGKILLed worker pid %d mid-run\n", workers[0].Process.Pid)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	trace, err := yafim.MineDistributed(ctx, master, input, support, yafim.Options{MaxK: f.maxK})
+	if err != nil {
+		return fmt.Errorf("distributed run: %w (worker logs under %s)", err, logsDir)
+	}
+
+	if !trace.Result.Equal(oracle.Result) {
+		return fmt.Errorf("dist-smoke: PARITY FAILED — distributed itemsets diverge from the sim oracle (%d vs %d frequent; logs under %s)",
+			trace.Result.NumFrequent(), oracle.Result.NumFrequent(), logsDir)
+	}
+	killNote := "no worker killed"
+	if f.distKill {
+		select {
+		case <-killed:
+			killNote = "1 worker SIGKILLed mid-run"
+		default:
+			return fmt.Errorf("dist-smoke: run finished before any task completion was observed; kill never fired")
+		}
+	}
+	fmt.Fprintf(stdout, "dist-smoke: PARITY OK — %d frequent itemsets (maxk=%d) across %d workers, %s\n",
+		oracle.Result.NumFrequent(), oracle.Result.MaxK(), f.distWorkers, killNote)
+	fmt.Fprintf(stdout, "engine=dist-mapreduce support=%g%% frequent=%d maxk=%d time=%v\n",
+		support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
+		trace.TotalDuration().Round(1e6))
+	return nil
 }

@@ -1,6 +1,10 @@
 package chaos
 
-import "time"
+import (
+	"time"
+
+	"yafim/internal/exec"
+)
 
 // NodeHealth counts task failures per node and blacklists nodes that fail
 // too often, with exponentially growing blacklist windows — the scheduler
@@ -29,8 +33,8 @@ func NewNodeHealth(nodes int, res Resilience) *NodeHealth {
 // RecordFailure attributes one task failure to node at the given virtual
 // time and reports whether that strike pushed the node into a (new or
 // extended) blacklist window. The first window lasts BlacklistBase; each
-// further strike doubles the window, capped at 30 doublings to avoid
-// overflow.
+// further strike doubles the window (the shared exec.Backoff arithmetic,
+// capped against overflow).
 func (h *NodeHealth) RecordFailure(node int, now time.Duration) bool {
 	if h == nil || node < 0 || node >= len(h.strikes) || h.res.BlacklistAfter <= 0 {
 		return false
@@ -40,10 +44,7 @@ func (h *NodeHealth) RecordFailure(node int, now time.Duration) bool {
 	if over < 0 {
 		return false
 	}
-	if over > 30 {
-		over = 30
-	}
-	h.until[node] = now + h.res.BlacklistBase<<over
+	h.until[node] = now + exec.Backoff{Base: h.res.BlacklistBase}.Delay(over)
 	h.listings++
 	return true
 }

@@ -1,0 +1,193 @@
+// Package dist is the distributed execution runtime behind the simulator:
+// a transport/executor abstraction whose jobs — described in wire-neutral,
+// serializable form — can run either through the deterministic in-memory
+// engines (the test oracle, see Local) or across real operating-system
+// processes (see Master and RunWorker).
+//
+// The real runtime follows the classic Hadoop/MIT-6.824 master/worker
+// shape: workers register with the master over HTTP, send periodic
+// heartbeats to a liveness monitor, and pull work as time-bounded task
+// leases. A worker that misses its heartbeat window or overruns a lease is
+// struck (reusing chaos.NodeHealth's blacklist semantics) and its in-flight
+// tasks — plus any already-served map-output partitions — are reassigned
+// and recomputed, exactly the map-recover/FetchFailed path the simulator's
+// shuffle lifecycle plays out in virtual time. Map output is served by the
+// worker that produced it over HTTP; reducers fetch with capped
+// exponential-backoff retries (exec.Backoff) and report irrecoverable
+// fetches back to the master so the lost map re-runs elsewhere.
+//
+// The package is algorithm-agnostic: mining code registers its map/reduce
+// closures as named job types (see RegisterJobType) and drives jobs through
+// the Executor interface; the same registered closures execute under both
+// implementations, which is what makes byte-identical parity between a real
+// multi-process run and the sim oracle a testable property rather than a
+// hope.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"yafim/internal/mapreduce"
+)
+
+// KV is one job output record, shared with the sim engine.
+type KV = mapreduce.KV
+
+// JobSpec describes one MapReduce job in engine-neutral form: everything an
+// executor needs is a registered job type, its parameters, a real input
+// file, task counts and the distributed-cache contents.
+type JobSpec struct {
+	// Name labels the job in logs and journals.
+	Name string `json:"name"`
+	// Type names a registered job type (see RegisterJobType).
+	Type string `json:"type"`
+	// Params is the job type's opaque parameter blob.
+	Params json.RawMessage `json:"params,omitempty"`
+	// InputPath is the transaction file on the real file system. Every
+	// worker must see the same path (same machine or shared storage, the
+	// Hadoop-on-NFS deployment shape).
+	InputPath string `json:"input_path"`
+	// NumMaps is the minimum map-task count; the input is cut into at
+	// least this many line-aligned splits when it is large enough.
+	NumMaps int `json:"num_maps"`
+	// NumReducers is the reduce-task count.
+	NumReducers int `json:"num_reducers"`
+	// Cache holds the distributed-cache files by name (the candidate
+	// batches, for the mining jobs). Workers fetch each name once per job
+	// from the master.
+	Cache map[string][]byte `json:"-"`
+}
+
+// JobOutput is a completed job's result.
+type JobOutput struct {
+	// KVs is the concatenated reducer output in reduce-partition order.
+	KVs []KV
+	// MapInputRecords counts the input records the map stage consumed
+	// (each map task counted once, however many times it was attempted) —
+	// the driver's Hadoop-counter substitute.
+	MapInputRecords int64
+	// Duration is how long the job took: virtual cluster time under the
+	// sim executor, wall-clock time under the real runtime.
+	Duration time.Duration
+}
+
+// Executor runs jobs. Implementations: Local (in-memory sim engine, the
+// deterministic oracle) and Master.Executor (real multi-process runtime).
+type Executor interface {
+	// ExecJob runs one job to completion and returns its output. The
+	// context cancels the job cooperatively at a task boundary.
+	ExecJob(ctx context.Context, job *JobSpec) (*JobOutput, error)
+}
+
+// Split is one map task's byte range of the real input file. Line-boundary
+// reconciliation follows the sim DFS reader's convention (see ReadSplit).
+type Split struct {
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+}
+
+// TaskSpec is one leased task on the wire.
+type TaskSpec struct {
+	// Job and Seq identify the job this task belongs to; Seq increases
+	// monotonically per master so stale completions are detectable.
+	Job string `json:"job"`
+	Seq int    `json:"seq"`
+	// Type and Params name the registered job type to instantiate.
+	Type   string          `json:"type"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Phase is "map" or "reduce"; Index the task index within the phase;
+	// Attempt the 1-based attempt number of this lease.
+	Phase   string `json:"phase"`
+	Index   int    `json:"index"`
+	Attempt int    `json:"attempt"`
+	// NumMaps and NumReducers shape the job's partitioning.
+	NumMaps     int `json:"num_maps"`
+	NumReducers int `json:"num_reducers"`
+	// Split is the map task's input range (map tasks only).
+	Split Split `json:"split,omitempty"`
+	// CacheNames lists the distributed-cache files to fetch from the
+	// master before running.
+	CacheNames []string `json:"cache_names,omitempty"`
+	// MapAddrs, for reduce tasks, is the HTTP address serving each map
+	// task's output, indexed by map task.
+	MapAddrs []string `json:"map_addrs,omitempty"`
+}
+
+// PhaseMap and PhaseReduce are the TaskSpec.Phase values.
+const (
+	PhaseMap    = "map"
+	PhaseReduce = "reduce"
+)
+
+// RegisterRequest announces a worker to the master. Addr is the worker's
+// reachable HTTP address for map-output fetches.
+type RegisterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse assigns the worker its id and the heartbeat cadence the
+// liveness monitor expects.
+type RegisterResponse struct {
+	WorkerID    int   `json:"worker_id"`
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest is the worker's periodic liveness signal.
+type HeartbeatRequest struct {
+	WorkerID int `json:"worker_id"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. Rejoin tells a worker the
+// master no longer knows it (declared dead, or a master restart): it must
+// re-register before doing anything else.
+type HeartbeatResponse struct {
+	OK     bool `json:"ok"`
+	Rejoin bool `json:"rejoin,omitempty"`
+}
+
+// LeaseRequest asks for work.
+type LeaseRequest struct {
+	WorkerID int `json:"worker_id"`
+}
+
+// LeaseResponse carries at most one leased task. A nil Task with WaitMs set
+// means "nothing runnable right now, ask again after the wait" (the job may
+// be between phases, or the worker blacklisted). Rejoin as in heartbeats.
+type LeaseResponse struct {
+	Task   *TaskSpec `json:"task,omitempty"`
+	WaitMs int64     `json:"wait_ms,omitempty"`
+	Rejoin bool      `json:"rejoin,omitempty"`
+}
+
+// CompleteRequest reports one finished task attempt.
+type CompleteRequest struct {
+	WorkerID int    `json:"worker_id"`
+	Seq      int    `json:"seq"`
+	Phase    string `json:"phase"`
+	Index    int    `json:"index"`
+	Attempt  int    `json:"attempt"`
+	// OK distinguishes success from failure; Error carries the failure
+	// message.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// FailedMaps lists map tasks whose output could not be fetched after
+	// the retry budget (reduce failures only): the master invalidates and
+	// re-runs them, the real FetchFailed protocol.
+	FailedMaps []int `json:"failed_maps,omitempty"`
+	// InputRecords is the map task's input record count (map successes).
+	InputRecords int64 `json:"input_records,omitempty"`
+	// Output is the reduce task's full output (reduce successes). Small
+	// by construction for the mining jobs — reducers emit aggregates.
+	Output []KV `json:"output,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Duplicate completions (a
+// zombie worker finishing a task the master already re-ran) are accepted
+// idempotently.
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+	Rejoin   bool `json:"rejoin,omitempty"`
+}

@@ -1,0 +1,548 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"yafim/internal/chaos"
+	"yafim/internal/obs"
+)
+
+// Tuning parameterises the master's liveness and lease protocol. All
+// durations are real time on a live master; the state machine itself only
+// ever sees explicit "now" values, which is what lets the unit tests and
+// the lease fuzzer drive it on a virtual clock, deterministically.
+type Tuning struct {
+	// HeartbeatInterval is the cadence workers are told to beat at.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a worker dead when now - lastBeat exceeds
+	// it (a beat landing exactly on the deadline still counts).
+	HeartbeatTimeout time.Duration
+	// LeaseDeadline bounds one task attempt; an overrun lease returns the
+	// task to the idle pool and strikes the worker.
+	LeaseDeadline time.Duration
+	// MaxWorkers caps registrations (worker ids are never reused).
+	MaxWorkers int
+	// MaxTaskAttempts fails the job when one task burns this many leases.
+	MaxTaskAttempts int
+	// BlacklistAfter and BlacklistBase configure the per-worker strike
+	// blacklist, with chaos.NodeHealth's exact semantics: after
+	// BlacklistAfter strikes a worker is benched for BlacklistBase,
+	// doubling per further strike (exec.Backoff arithmetic).
+	BlacklistAfter int
+	// BlacklistBase is the first blacklist window.
+	BlacklistBase time.Duration
+}
+
+// DefaultTuning returns the production-shaped defaults; tests shrink them.
+func DefaultTuning() Tuning {
+	return Tuning{
+		HeartbeatInterval: 250 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		LeaseDeadline:     30 * time.Second,
+		MaxWorkers:        64,
+		MaxTaskAttempts:   8,
+		BlacklistAfter:    3,
+		BlacklistBase:     5 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultTuning.
+func (t Tuning) withDefaults() Tuning {
+	d := DefaultTuning()
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if t.HeartbeatTimeout <= 0 {
+		t.HeartbeatTimeout = d.HeartbeatTimeout
+	}
+	if t.LeaseDeadline <= 0 {
+		t.LeaseDeadline = d.LeaseDeadline
+	}
+	if t.MaxWorkers <= 0 {
+		t.MaxWorkers = d.MaxWorkers
+	}
+	if t.MaxTaskAttempts <= 0 {
+		t.MaxTaskAttempts = d.MaxTaskAttempts
+	}
+	if t.BlacklistAfter <= 0 {
+		t.BlacklistAfter = d.BlacklistAfter
+	}
+	if t.BlacklistBase <= 0 {
+		t.BlacklistBase = d.BlacklistBase
+	}
+	return t
+}
+
+type taskState int
+
+const (
+	taskIdle taskState = iota
+	taskRunning
+	taskDone
+)
+
+// trackedTask is one task's scheduling state on the master.
+type trackedTask struct {
+	phase string
+	index int
+	split Split
+
+	state       taskState
+	worker      int           // lease owner while running; producer once done
+	leaseExpiry time.Duration // valid while running
+	attempts    int           // leases granted so far
+
+	addr         string // map: producer's serving address once done
+	inputRecords int64  // map: reported input record count
+	output       []KV   // reduce: reported output
+}
+
+// workerState is one registered worker on the master.
+type workerState struct {
+	id       int
+	addr     string
+	lastBeat time.Duration
+	dead     bool
+}
+
+// distJob is the currently executing job's scheduling state.
+type distJob struct {
+	spec        *JobSpec
+	seq         int
+	maps        []*trackedTask
+	reduces     []*trackedTask
+	mapsDone    int
+	reducesDone int
+	failure     error
+	doneCh      chan struct{} // closed once (all reduces done) or failure set
+}
+
+func (j *distJob) finished() bool {
+	return j.failure != nil || j.reducesDone == len(j.reduces)
+}
+
+// metrics is the master's counter surface; all handles are nil-safe so a
+// metrics-less table (unit tests) costs nothing.
+type metrics struct {
+	heartbeats    *obs.Counter
+	leaseGrants   *obs.Counter
+	leaseExpiries *obs.Counter
+	workerDeaths  *obs.Counter
+	blacklists    *obs.Counter
+	mapsRecovered *obs.Counter
+	fetchFailures *obs.Counter
+	duplicates    *obs.Counter
+	taskFailures  *obs.Counter
+	liveWorkers   *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		heartbeats:    reg.Counter("dist_heartbeats_total", "worker heartbeats received"),
+		leaseGrants:   reg.Counter("dist_lease_grants_total", "task leases granted"),
+		leaseExpiries: reg.Counter("dist_lease_expiries_total", "task leases that overran their deadline"),
+		workerDeaths:  reg.Counter("dist_worker_deaths_total", "workers declared dead by the liveness monitor"),
+		blacklists:    reg.Counter("dist_worker_blacklists_total", "blacklist windows opened on workers"),
+		mapsRecovered: reg.Counter("dist_map_outputs_recovered_total", "completed map tasks invalidated and re-run after output loss"),
+		fetchFailures: reg.Counter("dist_fetch_failures_total", "map outputs reported unfetchable by reducers"),
+		duplicates:    reg.Counter("dist_duplicate_completions_total", "idempotently ignored duplicate task completions"),
+		taskFailures:  reg.Counter("dist_task_failures_total", "task attempts reported failed by workers"),
+		liveWorkers:   reg.Gauge("dist_live_workers", "registered workers not declared dead"),
+	}
+}
+
+// leaseTable is the master's scheduling core: worker registration and
+// liveness, task leases with deadlines, completion bookkeeping, and the
+// recovery actions (reassignment, map-output invalidation, blacklisting)
+// that keep a job finishing while workers die around it. Every method takes
+// the current time explicitly; the table never reads a clock.
+type leaseTable struct {
+	mu      sync.Mutex
+	cfg     Tuning
+	health  *chaos.NodeHealth // blacklist + dead bookkeeping, indexed by worker id-1
+	workers []*workerState
+	job     *distJob
+	nextSeq int
+
+	log *obs.EventLog // nil-safe
+	m   metrics
+}
+
+func newLeaseTable(cfg Tuning, log *obs.EventLog, reg *obs.Registry) *leaseTable {
+	cfg = cfg.withDefaults()
+	return &leaseTable{
+		cfg: cfg,
+		health: chaos.NewNodeHealth(cfg.MaxWorkers, chaos.Resilience{
+			BlacklistAfter: cfg.BlacklistAfter,
+			BlacklistBase:  cfg.BlacklistBase,
+		}),
+		log: log,
+		m:   newMetrics(reg),
+	}
+}
+
+// errTooManyWorkers is returned when registration exceeds Tuning.MaxWorkers.
+var errTooManyWorkers = fmt.Errorf("dist: worker capacity exhausted")
+
+// register admits a worker and returns its 1-based id. A restarted process
+// registers again and receives a fresh id; ids are never reused, so a
+// zombie holding an old id can always be told apart.
+func (t *leaseTable) register(addr string, now time.Duration) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.workers) >= t.cfg.MaxWorkers {
+		return 0, errTooManyWorkers
+	}
+	w := &workerState{id: len(t.workers) + 1, addr: addr, lastBeat: now}
+	t.workers = append(t.workers, w)
+	t.m.liveWorkers.Add(1)
+	t.log.Append(obs.LiveEvent{Event: "worker_register", Worker: w.id, Addr: addr})
+	return w.id, nil
+}
+
+// worker resolves an id under the lock; nil when unknown.
+func (t *leaseTable) workerLocked(id int) *workerState {
+	if id < 1 || id > len(t.workers) {
+		return nil
+	}
+	return t.workers[id-1]
+}
+
+// heartbeat refreshes a worker's liveness. The boolean reports whether the
+// master still recognises the worker; false tells it to re-register.
+func (t *leaseTable) heartbeat(id int, now time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workerLocked(id)
+	if w == nil || w.dead {
+		return false
+	}
+	w.lastBeat = now
+	t.m.heartbeats.Add(1)
+	return true
+}
+
+// sweep advances the liveness and lease clocks: workers whose last
+// heartbeat is older than the timeout die (a beat exactly at the deadline
+// survives), and running tasks whose lease expired return to the idle pool
+// with a strike against the worker.
+func (t *leaseTable) sweep(now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.workers {
+		if !w.dead && now-w.lastBeat > t.cfg.HeartbeatTimeout {
+			t.markDeadLocked(w, "heartbeat_miss")
+		}
+	}
+	if t.job == nil || t.job.finished() {
+		return
+	}
+	for _, task := range append(append([]*trackedTask{}, t.job.maps...), t.job.reduces...) {
+		if task.state != taskRunning || now <= task.leaseExpiry {
+			continue
+		}
+		t.m.leaseExpiries.Add(1)
+		t.log.Append(obs.LiveEvent{Event: "lease_expire", Worker: task.worker,
+			Job: t.job.spec.Name, Seq: t.job.seq, Phase: task.phase,
+			Task: task.index + 1, Attempt: task.attempts})
+		t.strikeLocked(task.worker, now)
+		task.state = taskIdle
+		task.worker = 0
+		t.failJobIfExhaustedLocked(task)
+	}
+}
+
+// markDeadLocked declares a worker dead: its running tasks and its served
+// map outputs for the current job are lost and return to the idle pool.
+func (t *leaseTable) markDeadLocked(w *workerState, reason string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	t.health.MarkDead(w.id - 1)
+	t.m.workerDeaths.Add(1)
+	t.m.liveWorkers.Add(-1)
+	t.log.Append(obs.LiveEvent{Event: "worker_dead", Worker: w.id, Addr: w.addr, Detail: reason})
+	if t.job == nil || t.job.finished() {
+		return
+	}
+	for _, task := range append(append([]*trackedTask{}, t.job.maps...), t.job.reduces...) {
+		switch {
+		case task.state == taskRunning && task.worker == w.id:
+			task.state = taskIdle
+			task.worker = 0
+			t.log.Append(obs.LiveEvent{Event: "task_reassign", Worker: w.id,
+				Job: t.job.spec.Name, Seq: t.job.seq, Phase: task.phase,
+				Task: task.index + 1, Detail: "owner died"})
+		case task.state == taskDone && task.phase == PhaseMap && task.worker == w.id:
+			// The dead worker was serving this map's output partitions;
+			// they are gone with the process. Recompute — the distributed
+			// twin of the sim's *:map-recover stage.
+			task.state = taskIdle
+			task.worker = 0
+			task.addr = ""
+			t.job.mapsDone--
+			t.m.mapsRecovered.Add(1)
+			t.log.Append(obs.LiveEvent{Event: "map_output_lost", Worker: w.id,
+				Job: t.job.spec.Name, Seq: t.job.seq, Phase: task.phase,
+				Task: task.index + 1, Detail: reason})
+		}
+	}
+}
+
+// strikeLocked charges one failure to a worker, opening or extending its
+// blacklist window when the strike budget is spent.
+func (t *leaseTable) strikeLocked(id int, now time.Duration) {
+	w := t.workerLocked(id)
+	if w == nil || w.dead {
+		return
+	}
+	if t.health.RecordFailure(id-1, now) {
+		t.m.blacklists.Add(1)
+		t.log.Append(obs.LiveEvent{Event: "worker_blacklist", Worker: id, Addr: w.addr})
+	}
+}
+
+// failJobIfExhaustedLocked fails the whole job once a task has burned its
+// attempt budget — the Hadoop "task failed 4 times" terminal condition.
+func (t *leaseTable) failJobIfExhaustedLocked(task *trackedTask) {
+	if t.job == nil || t.job.failure != nil || task.attempts < t.cfg.MaxTaskAttempts {
+		return
+	}
+	t.job.failure = fmt.Errorf("dist: %s task %d failed %d attempts",
+		task.phase, task.index, task.attempts)
+	close(t.job.doneCh)
+}
+
+// startJob installs the next job's tasks and returns its handle. Exactly
+// one job runs at a time (the mining passes are sequential by nature).
+func (t *leaseTable) startJob(spec *JobSpec, splits []Split) (*distJob, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.job != nil && !t.job.finished() {
+		return nil, fmt.Errorf("dist: job %s still running", t.job.spec.Name)
+	}
+	t.nextSeq++
+	j := &distJob{spec: spec, seq: t.nextSeq, doneCh: make(chan struct{})}
+	for i, s := range splits {
+		j.maps = append(j.maps, &trackedTask{phase: PhaseMap, index: i, split: s})
+	}
+	for i := 0; i < spec.NumReducers; i++ {
+		j.reduces = append(j.reduces, &trackedTask{phase: PhaseReduce, index: i})
+	}
+	t.job = j
+	t.log.Append(obs.LiveEvent{Event: "job_start", Job: spec.Name, Seq: j.seq,
+		Detail: fmt.Sprintf("%d maps, %d reduces", len(j.maps), len(j.reduces))})
+	return j, nil
+}
+
+// lease hands the worker its next task, if any is runnable: map tasks while
+// any map is idle, then — once every map output is in place — reduce tasks,
+// whose specs embed the map-output locations. The boolean "rejoin" tells a
+// dead or unknown worker to re-register.
+func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workerLocked(id)
+	if w == nil || w.dead {
+		return nil, true
+	}
+	if t.job == nil || t.job.finished() {
+		return nil, false
+	}
+	if ex := t.health.Excluded(now); ex != nil && ex[id-1] {
+		return nil, false // benched: ask again after the window
+	}
+	j := t.job
+	var task *trackedTask
+	for _, m := range j.maps {
+		if m.state == taskIdle {
+			task = m
+			break
+		}
+	}
+	if task == nil && j.mapsDone == len(j.maps) {
+		for _, r := range j.reduces {
+			if r.state == taskIdle {
+				task = r
+				break
+			}
+		}
+	}
+	if task == nil {
+		return nil, false
+	}
+	task.state = taskRunning
+	task.worker = id
+	task.attempts++
+	task.leaseExpiry = now + t.cfg.LeaseDeadline
+	t.m.leaseGrants.Add(1)
+	t.log.Append(obs.LiveEvent{Event: "lease_grant", Worker: id, Job: j.spec.Name,
+		Seq: j.seq, Phase: task.phase, Task: task.index + 1, Attempt: task.attempts})
+
+	spec = &TaskSpec{
+		Job: j.spec.Name, Seq: j.seq, Type: j.spec.Type, Params: j.spec.Params,
+		Phase: task.phase, Index: task.index, Attempt: task.attempts,
+		NumMaps: len(j.maps), NumReducers: len(j.reduces),
+	}
+	for name := range j.spec.Cache {
+		spec.CacheNames = append(spec.CacheNames, name)
+	}
+	sort.Strings(spec.CacheNames)
+	if task.phase == PhaseMap {
+		spec.Split = task.split
+	} else {
+		spec.MapAddrs = make([]string, len(j.maps))
+		for i, m := range j.maps {
+			spec.MapAddrs[i] = m.addr
+		}
+	}
+	return spec, false
+}
+
+// complete ingests one task-attempt report. Every path is idempotent: a
+// zombie worker re-reporting a task the master already completed (or
+// already re-ran) is acknowledged and ignored.
+func (t *leaseTable) complete(req *CompleteRequest, now time.Duration) (accepted, rejoin bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workerLocked(req.WorkerID)
+	if w == nil || w.dead {
+		// A worker the liveness monitor declared dead cannot vouch for its
+		// map outputs (its server may vanish any moment); reject and make
+		// it re-register before it does more work.
+		return false, true
+	}
+	j := t.job
+	if j == nil || req.Seq != j.seq {
+		return true, false // stale completion from an earlier job: drop
+	}
+	if j.failure != nil {
+		return true, false // job already failed or canceled: drop
+	}
+	var task *trackedTask
+	switch req.Phase {
+	case PhaseMap:
+		if req.Index >= 0 && req.Index < len(j.maps) {
+			task = j.maps[req.Index]
+		}
+	case PhaseReduce:
+		if req.Index >= 0 && req.Index < len(j.reduces) {
+			task = j.reduces[req.Index]
+		}
+	}
+	if task == nil {
+		return false, false
+	}
+	if task.state == taskDone {
+		t.m.duplicates.Add(1)
+		t.log.Append(obs.LiveEvent{Event: "duplicate_completion", Worker: req.WorkerID,
+			Job: j.spec.Name, Seq: j.seq, Phase: req.Phase, Task: req.Index + 1})
+		return true, false
+	}
+	if !req.OK {
+		t.m.taskFailures.Add(1)
+		t.log.Append(obs.LiveEvent{Event: "task_failed", Worker: req.WorkerID,
+			Job: j.spec.Name, Seq: j.seq, Phase: req.Phase, Task: req.Index + 1,
+			Attempt: req.Attempt, Detail: req.Error})
+		t.strikeLocked(req.WorkerID, now)
+		// FetchFailed protocol: the reducer names the map outputs it could
+		// not fetch; invalidate them so they recompute before the reduce
+		// is retried.
+		for _, mi := range req.FailedMaps {
+			if mi < 0 || mi >= len(j.maps) {
+				continue
+			}
+			m := j.maps[mi]
+			if m.state != taskDone {
+				continue // already being recomputed
+			}
+			m.state = taskIdle
+			m.worker = 0
+			m.addr = ""
+			j.mapsDone--
+			t.m.fetchFailures.Add(1)
+			t.m.mapsRecovered.Add(1)
+			t.log.Append(obs.LiveEvent{Event: "map_output_lost", Worker: req.WorkerID,
+				Job: j.spec.Name, Seq: j.seq, Phase: PhaseMap, Task: mi + 1,
+				Detail: "fetch failed"})
+		}
+		if task.state == taskRunning && task.worker == req.WorkerID {
+			task.state = taskIdle
+			task.worker = 0
+		}
+		t.failJobIfExhaustedLocked(task)
+		return true, false
+	}
+	// Success. The reporter may no longer own the lease (it expired, or
+	// another worker holds a newer one): first valid result wins, the
+	// loser's report lands in the duplicate branch above.
+	task.state = taskDone
+	task.worker = req.WorkerID
+	if req.Phase == PhaseMap {
+		task.addr = w.addr
+		task.inputRecords = req.InputRecords
+		j.mapsDone++
+	} else {
+		task.output = req.Output
+		j.reducesDone++
+		if j.reducesDone == len(j.reduces) && j.failure == nil {
+			close(j.doneCh)
+		}
+	}
+	t.log.Append(obs.LiveEvent{Event: "task_complete", Worker: req.WorkerID,
+		Job: j.spec.Name, Seq: j.seq, Phase: req.Phase, Task: req.Index + 1,
+		Attempt: req.Attempt})
+	return true, false
+}
+
+// result assembles the finished job's output; an error if it failed.
+func (t *leaseTable) result() (*JobOutput, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j := t.job
+	if j == nil {
+		return nil, fmt.Errorf("dist: no job")
+	}
+	if j.failure != nil {
+		return nil, j.failure
+	}
+	if j.reducesDone != len(j.reduces) {
+		return nil, fmt.Errorf("dist: job %s not finished", j.spec.Name)
+	}
+	out := &JobOutput{}
+	for _, m := range j.maps {
+		out.MapInputRecords += m.inputRecords
+	}
+	for _, r := range j.reduces {
+		out.KVs = append(out.KVs, r.output...)
+	}
+	return out, nil
+}
+
+// cacheFile serves a distributed-cache blob of the current job.
+func (t *leaseTable) cacheFile(seq int, name string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.job == nil || t.job.seq != seq {
+		return nil, false
+	}
+	data, ok := t.job.spec.Cache[name]
+	return data, ok
+}
+
+// liveWorkerCount reports workers not declared dead.
+func (t *leaseTable) liveWorkerCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, w := range t.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}

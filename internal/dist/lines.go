@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// fileLine is one text record of a real input file: the byte offset of the
+// line start (the conventional MapReduce key) and the text without its
+// trailing newline.
+type fileLine struct {
+	offset int64
+	text   string
+}
+
+// splitFile cuts a real file into at least minSplits byte ranges, mirroring
+// dfs.SplitsN's FileInputFormat behaviour (minus block structure, which real
+// local files do not have): even target-sized ranges covering the file,
+// clamped so no split is empty. Record boundaries are reconciled by
+// readSplit, not here.
+func splitFile(path string, minSplits int) ([]Split, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("dist: input %s is empty", path)
+	}
+	if minSplits < 1 {
+		minSplits = 1
+	}
+	if int64(minSplits) > size {
+		minSplits = int(size)
+	}
+	// Exactly minSplits non-empty ranges: even base size, the remainder
+	// spread one byte at a time over the leading splits.
+	base := size / int64(minSplits)
+	rem := size % int64(minSplits)
+	out := make([]Split, 0, minSplits)
+	off := int64(0)
+	for i := 0; i < minSplits; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		out = append(out, Split{Path: path, Offset: off, Length: length})
+		off += length
+	}
+	return out, nil
+}
+
+// readSplit reads the records belonging to one split of a real file with
+// Hadoop's LineRecordReader convention, exactly as the sim DFS reader
+// (dfs.ReadLines) applies it: a split not starting at offset zero discards
+// its first line — partial or whole, it belongs to the previous split — and
+// every split keeps reading records whose first byte lies at or before the
+// split's end, extending past the boundary to finish the last record.
+// Together the splits of a file yield every line exactly once, which is what
+// keeps the distributed map stage's record count (and with it the absolute
+// min-support threshold) byte-identical to the sim oracle's.
+func readSplit(split Split) ([]fileLine, error) {
+	f, err := os.Open(split.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	start := split.Offset
+	end := split.Offset + split.Length
+	if end > size {
+		end = size
+	}
+	if start >= size || start >= end {
+		return nil, nil
+	}
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	pos := start
+	if start > 0 {
+		skipped, err := br.ReadString('\n')
+		if err == io.EOF {
+			// The split lies entirely inside one long unterminated line
+			// started in an earlier split; it contributes no records.
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		pos += int64(len(skipped))
+	}
+	var lines []fileLine
+	for {
+		if pos > end || pos >= size {
+			// Records starting strictly past the boundary belong to the
+			// next split (which discards its leading line to compensate).
+			break
+		}
+		text, err := br.ReadString('\n')
+		if err == io.EOF {
+			if len(text) > 0 {
+				lines = append(lines, fileLine{offset: pos, text: text})
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fileLine{offset: pos, text: strings.TrimSuffix(text, "\n")})
+		pos += int64(len(text))
+	}
+	return lines, nil
+}

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+
+	"yafim/internal/cluster"
+	"yafim/internal/dfs"
+	"yafim/internal/mapreduce"
+)
+
+// Local is the deterministic in-memory Executor: it stages each job's real
+// input file and cache blobs into a fresh simulated DFS and runs the job
+// through the existing virtual-time MapReduce engine. It instantiates tasks
+// through the same job-type registry as the worker runtime, so the exact
+// closures a real worker process would run are what the oracle runs — any
+// divergence between a distributed run and a Local run is a runtime bug,
+// not an algorithm difference.
+type Local struct {
+	// Nodes is the simulated cluster size (defaults to 4).
+	Nodes int
+	// Config is the simulated cluster configuration (defaults to
+	// cluster.Defaults()).
+	Config *cluster.Config
+}
+
+// ExecJob runs one job on the sim engine.
+func (l *Local) ExecJob(ctx context.Context, job *JobSpec) (*JobOutput, error) {
+	jt, err := lookupJobType(job.Type)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the parameter blob once up front so the per-task factories
+	// below cannot fail.
+	if _, err := jt.NewMapper(job.Params); err != nil {
+		return nil, fmt.Errorf("dist: %s: mapper params: %w", job.Name, err)
+	}
+	if _, err := jt.NewReducer(job.Params); err != nil {
+		return nil, fmt.Errorf("dist: %s: reducer params: %w", job.Name, err)
+	}
+
+	nodes := l.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	cfg := cluster.Local()
+	if l.Config != nil {
+		cfg = *l.Config
+	}
+	fs := dfs.New(nodes)
+	data, err := os.ReadFile(job.InputPath)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s: input: %w", job.Name, err)
+	}
+	const inputPath = "/dist/input"
+	if err := fs.WriteFile(inputPath, data, nil); err != nil {
+		return nil, err
+	}
+	cacheNames := make([]string, 0, len(job.Cache))
+	for name := range job.Cache {
+		cacheNames = append(cacheNames, name)
+	}
+	sort.Strings(cacheNames)
+	for _, name := range cacheNames {
+		if err := fs.WriteFile(name, job.Cache[name], nil); err != nil {
+			return nil, fmt.Errorf("dist: %s: cache %s: %w", job.Name, name, err)
+		}
+	}
+	runner, err := mapreduce.NewRunner(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	mj := mapreduce.Job{
+		Name:      job.Name,
+		Input:     []string{inputPath},
+		OutputDir: "/dist/out",
+		NewMapper: func() mapreduce.Mapper {
+			m, _ := jt.NewMapper(job.Params)
+			return m
+		},
+		NewReducer: func() mapreduce.Reducer {
+			r, _ := jt.NewReducer(job.Params)
+			return r
+		},
+		NumReducers: job.NumReducers,
+		MapTasks:    job.NumMaps,
+		CacheFiles:  cacheNames,
+	}
+	if jt.NewCombiner != nil {
+		if _, err := jt.NewCombiner(job.Params); err != nil {
+			return nil, fmt.Errorf("dist: %s: combiner params: %w", job.Name, err)
+		}
+		mj.NewCombiner = func() mapreduce.Reducer {
+			c, _ := jt.NewCombiner(job.Params)
+			return c
+		}
+	}
+	report, counters, err := runner.RunContext(ctx, mj)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := mapreduce.ReadOutput(fs, mj.OutputDir, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutput{
+		KVs:             kvs,
+		MapInputRecords: counters.MapInputRecords,
+		Duration:        report.Duration(),
+	}, nil
+}

@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"yafim/internal/obs"
+)
+
+// Master is the real runtime's driver-side endpoint: it owns the lease
+// table, serves the worker protocol over HTTP, runs the liveness sweeper,
+// and implements Executor so a driver can submit jobs to real worker
+// processes exactly as it would to the in-memory oracle.
+type Master struct {
+	cfg   Tuning
+	table *leaseTable
+	log   *obs.EventLog
+	reg   *obs.Registry
+
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewMaster starts a master listening on addr ("host:port"; ":0" picks a
+// free port). log and reg may be nil. Close releases the listener and the
+// sweeper.
+func NewMaster(addr string, cfg Tuning, log *obs.EventLog, reg *obs.Registry) (*Master, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: master listen: %w", err)
+	}
+	m := &Master{
+		cfg:       cfg,
+		table:     newLeaseTable(cfg, log, reg),
+		log:       log,
+		reg:       reg,
+		ln:        ln,
+		start:     time.Now(),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist/register", m.handleRegister)
+	mux.HandleFunc("/dist/heartbeat", m.handleHeartbeat)
+	mux.HandleFunc("/dist/lease", m.handleLease)
+	mux.HandleFunc("/dist/complete", m.handleComplete)
+	mux.HandleFunc("/dist/cache", m.handleCache)
+	mux.HandleFunc("/dist/events", m.handleEvents)
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	go m.sweeper()
+	return m, nil
+}
+
+// Addr returns the master's listen address (for workers to dial).
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// URL returns the master's base URL.
+func (m *Master) URL() string { return "http://" + m.Addr() }
+
+// now is the master's monotonic clock, the real-time source every lease
+// table call is fed from.
+func (m *Master) now() time.Duration { return time.Since(m.start) }
+
+// Close shuts the protocol server and the liveness sweeper down.
+func (m *Master) Close() error {
+	close(m.stopSweep)
+	<-m.sweepDone
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return m.srv.Shutdown(ctx)
+}
+
+// LiveWorkers reports registered workers not declared dead.
+func (m *Master) LiveWorkers() int { return m.table.liveWorkerCount() }
+
+// sweeper drives the liveness monitor and lease-deadline clock.
+func (m *Master) sweeper() {
+	defer close(m.sweepDone)
+	t := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case <-t.C:
+			m.table.sweep(m.now())
+		}
+	}
+}
+
+// ExecJob implements Executor: cut the input into splits, install the job
+// in the lease table, and wait for workers to pull it to completion.
+func (m *Master) ExecJob(ctx context.Context, job *JobSpec) (*JobOutput, error) {
+	if _, err := lookupJobType(job.Type); err != nil {
+		return nil, err
+	}
+	splits, err := splitFile(job.InputPath, job.NumMaps)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s: %w", job.Name, err)
+	}
+	started := time.Now()
+	j, err := m.table.startJob(job, splits)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.doneCh:
+	case <-ctx.Done():
+		m.table.failJob(j, fmt.Errorf("dist: %s: %w", job.Name, ctx.Err()))
+		<-j.doneCh
+	}
+	out, err := m.table.result()
+	if err != nil {
+		return nil, err
+	}
+	out.Duration = time.Since(started)
+	return out, nil
+}
+
+// failJob aborts a job that has not already finished (driver cancellation).
+func (t *leaseTable) failJob(j *distJob, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j.finished() {
+		return
+	}
+	j.failure = err
+	close(j.doneCh)
+}
+
+// decode parses a JSON request body, replying 400 on malformed input.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is its problem
+}
+
+func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := m.table.register(req.Addr, m.now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	reply(w, RegisterResponse{
+		WorkerID:    id,
+		HeartbeatMs: m.cfg.HeartbeatInterval.Milliseconds(),
+	})
+}
+
+func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ok := m.table.heartbeat(req.WorkerID, m.now())
+	reply(w, HeartbeatResponse{OK: ok, Rejoin: !ok})
+}
+
+func (m *Master) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	task, rejoin := m.table.lease(req.WorkerID, m.now())
+	resp := LeaseResponse{Task: task, Rejoin: rejoin}
+	if task == nil {
+		resp.WaitMs = m.cfg.HeartbeatInterval.Milliseconds()
+	}
+	reply(w, resp)
+}
+
+func (m *Master) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	accepted, rejoin := m.table.complete(&req, m.now())
+	reply(w, CompleteResponse{Accepted: accepted, Rejoin: rejoin})
+}
+
+// handleCache serves one distributed-cache blob of the current job.
+func (m *Master) handleCache(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.Atoi(r.URL.Query().Get("seq"))
+	if err != nil {
+		http.Error(w, "bad seq", http.StatusBadRequest)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	data, ok := m.table.cacheFile(seq, name)
+	if !ok {
+		http.Error(w, "no such cache file", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck
+}
+
+// handleEvents dumps the live event journal as JSONL.
+func (m *Master) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	m.log.WriteTo(w) //nolint:errcheck
+}
+
+// handleMetrics exposes the master's counters in Prometheus text format.
+func (m *Master) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m.reg.WritePrometheus(w) //nolint:errcheck
+}

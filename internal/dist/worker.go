@@ -1,0 +1,498 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"yafim/internal/exec"
+	"yafim/internal/mapreduce"
+	"yafim/internal/obs"
+	"yafim/internal/sim"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// MasterURL is the master's base URL ("http://host:port").
+	MasterURL string
+	// Addr is the worker's own listen address for serving map output
+	// ("127.0.0.1:0" by default — loopback, OS-assigned port).
+	Addr string
+	// Log receives the worker's live event journal (nil disables).
+	Log *obs.EventLog
+	// Fetch shapes the map-output and RPC retry loop; zero fields default
+	// to 100ms base, 2s cap, factor 2, 10% deterministic jitter.
+	Fetch exec.Backoff
+	// FetchRetries is the per-target retry budget (default 5) before a map
+	// output is reported unfetchable.
+	FetchRetries int
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.Fetch.Base <= 0 {
+		o.Fetch = exec.Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.1}
+	}
+	if o.FetchRetries <= 0 {
+		o.FetchRetries = 5
+	}
+	return o
+}
+
+// partitionData is one map task's output for one reduce partition: the
+// per-key value lists, preserving emit order within each key.
+type partitionData map[string][]string
+
+// outputKey identifies one map task's stored output.
+type outputKey struct {
+	seq, mapIndex int
+}
+
+// worker is one worker process's runtime state.
+type worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	log    *obs.EventLog
+
+	id   int
+	addr string // own map-output serving address
+	hbMs int64
+
+	mu      sync.Mutex
+	outputs map[outputKey][]partitionData // completed map outputs by task
+	caches  map[string][]byte             // fetched cache blobs by seq\xffname
+}
+
+// RunWorker runs a worker until ctx is done: register with the master,
+// heartbeat on the master's cadence, pull task leases, execute them with
+// the registered job-type closures, serve map output to peers over HTTP.
+// Cancellation (SIGTERM in cmd/yafim) drains gracefully: the in-flight task
+// finishes and is reported before the worker exits.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	w := &worker{
+		opts:    opts,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		log:     opts.Log,
+		outputs: map[outputKey][]partitionData{},
+		caches:  map[string][]byte{},
+	}
+
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: worker listen: %w", err)
+	}
+	w.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist/output", w.handleOutput)
+	mux.HandleFunc("/dist/events", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/x-ndjson")
+		w.log.WriteTo(rw) //nolint:errcheck
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(sctx) //nolint:errcheck
+	}()
+
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.log.Append(obs.LiveEvent{Event: "worker_start", Worker: w.id, Addr: w.addr})
+
+	hbCtx, stopHb := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer func() {
+		stopHb()
+		<-hbDone
+	}()
+
+	return w.leaseLoop(ctx)
+}
+
+// postJSON posts req and decodes the response into resp, retrying transport
+// errors on the worker's backoff (a master briefly unreachable during
+// startup must not kill the worker).
+func (w *worker) postJSON(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt <= w.opts.FetchRetries; attempt++ {
+		if attempt > 0 {
+			if err := w.opts.Fetch.Sleep(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			w.opts.MasterURL+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		res, err := w.client.Do(hr)
+		if err != nil {
+			last = err
+			continue
+		}
+		if res.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+			res.Body.Close()
+			last = fmt.Errorf("dist: %s: %s: %s", path, res.Status, bytes.TrimSpace(msg))
+			continue
+		}
+		err = json.NewDecoder(res.Body).Decode(resp)
+		res.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("dist: %s: retries exhausted: %w", path, last)
+}
+
+// register announces the worker and adopts the master's heartbeat cadence.
+func (w *worker) register(ctx context.Context) error {
+	var resp RegisterResponse
+	if err := w.postJSON(ctx, "/dist/register", RegisterRequest{Addr: w.addr}, &resp); err != nil {
+		return err
+	}
+	w.id = resp.WorkerID
+	w.hbMs = resp.HeartbeatMs
+	if w.hbMs <= 0 {
+		w.hbMs = DefaultTuning().HeartbeatInterval.Milliseconds()
+	}
+	return nil
+}
+
+// heartbeatLoop beats on the master's cadence until canceled, re-registering
+// when the master stops recognising the worker.
+func (w *worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(time.Duration(w.hbMs) * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp HeartbeatResponse
+			err := w.postJSON(ctx, "/dist/heartbeat", HeartbeatRequest{WorkerID: w.id}, &resp)
+			if err == nil && resp.Rejoin {
+				if err := w.register(ctx); err != nil {
+					return
+				}
+				w.log.Append(obs.LiveEvent{Event: "worker_rejoin", Worker: w.id, Addr: w.addr})
+			}
+		}
+	}
+}
+
+// leaseLoop pulls and executes tasks until the context is done. A task
+// already running when cancellation arrives completes and is reported —
+// the graceful SIGTERM drain.
+func (w *worker) leaseLoop(ctx context.Context) error {
+	for {
+		if err := exec.ContextErr(ctx); err != nil {
+			w.log.Append(obs.LiveEvent{Event: "worker_drain", Worker: w.id})
+			return nil // drained: cancellation is the normal exit
+		}
+		var resp LeaseResponse
+		if err := w.postJSON(ctx, "/dist/lease", LeaseRequest{WorkerID: w.id}, &resp); err != nil {
+			if exec.IsCancellation(err) {
+				return nil
+			}
+			return err
+		}
+		if resp.Rejoin {
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.Task == nil {
+			wait := time.Duration(resp.WaitMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(wait):
+			}
+			continue
+		}
+		w.runTask(ctx, resp.Task)
+	}
+}
+
+// runTask executes one leased task and reports its completion. Failures are
+// reported, not returned: the master decides retry policy.
+func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
+	w.log.Append(obs.LiveEvent{Event: "task_start", Worker: w.id, Job: task.Job,
+		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
+	req := &CompleteRequest{
+		WorkerID: w.id, Seq: task.Seq,
+		Phase: task.Phase, Index: task.Index, Attempt: task.Attempt,
+	}
+	var err error
+	switch task.Phase {
+	case PhaseMap:
+		req.InputRecords, err = w.runMap(ctx, task)
+	case PhaseReduce:
+		var failed []int
+		req.Output, failed, err = w.runReduce(ctx, task)
+		req.FailedMaps = failed
+	default:
+		err = fmt.Errorf("dist: unknown phase %q", task.Phase)
+	}
+	req.OK = err == nil
+	if err != nil {
+		req.Error = err.Error()
+		w.log.Append(obs.LiveEvent{Event: "task_error", Worker: w.id, Job: task.Job,
+			Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1,
+			Attempt: task.Attempt, Detail: err.Error()})
+	}
+	var resp CompleteResponse
+	// Completion reporting uses a context that survives the drain: a result
+	// computed before SIGTERM still reaches the master.
+	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	defer cancel()
+	if err := w.postJSON(rctx, "/dist/complete", req, &resp); err != nil {
+		w.log.Append(obs.LiveEvent{Event: "complete_lost", Worker: w.id, Job: task.Job,
+			Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Detail: err.Error()})
+		return
+	}
+	w.log.Append(obs.LiveEvent{Event: "task_reported", Worker: w.id, Job: task.Job,
+		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
+}
+
+// cacheFiles assembles the task's distributed cache, fetching each blob
+// from the master once per job and memoizing it.
+func (w *worker) cacheFiles(ctx context.Context, task *TaskSpec) (mapreduce.CacheFiles, error) {
+	if len(task.CacheNames) == 0 {
+		return nil, nil
+	}
+	cache := make(mapreduce.CacheFiles, len(task.CacheNames))
+	for _, name := range task.CacheNames {
+		key := strconv.Itoa(task.Seq) + "\xff" + name
+		w.mu.Lock()
+		data, ok := w.caches[key]
+		w.mu.Unlock()
+		if !ok {
+			u := fmt.Sprintf("%s/dist/cache?seq=%d&name=%s", w.opts.MasterURL, task.Seq, name)
+			var err error
+			data, err = w.fetchURL(ctx, u)
+			if err != nil {
+				return nil, fmt.Errorf("cache %s: %w", name, err)
+			}
+			w.mu.Lock()
+			w.caches[key] = data
+			w.mu.Unlock()
+		}
+		cache[name] = data
+	}
+	return cache, nil
+}
+
+// fetchURL GETs a URL with the worker's retry backoff.
+func (w *worker) fetchURL(ctx context.Context, url string) ([]byte, error) {
+	var last error
+	for attempt := 0; attempt <= w.opts.FetchRetries; attempt++ {
+		if attempt > 0 {
+			if err := w.opts.Fetch.Sleep(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := w.client.Do(hr)
+		if err != nil {
+			last = err
+			continue
+		}
+		if res.StatusCode != http.StatusOK {
+			res.Body.Close()
+			last = fmt.Errorf("%s: %s", url, res.Status)
+			continue
+		}
+		data, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("dist: fetch retries exhausted: %w", last)
+}
+
+// runMap executes one map task: read the split with the sim reader's
+// line-boundary convention, run the registered mapper (and combiner),
+// partition with the engine's exact hash, and store the partitions for
+// serving. Returns the consumed record count (the driver's counter source).
+func (w *worker) runMap(ctx context.Context, task *TaskSpec) (int64, error) {
+	jt, err := lookupJobType(task.Type)
+	if err != nil {
+		return 0, err
+	}
+	cache, err := w.cacheFiles(ctx, task)
+	if err != nil {
+		return 0, err
+	}
+	mapper, err := jt.NewMapper(task.Params)
+	if err != nil {
+		return 0, err
+	}
+	led := new(sim.Ledger) // real runtime: costs are measured, not metered
+	if err := mapper.Setup(cache, led); err != nil {
+		return 0, fmt.Errorf("map %d setup: %w", task.Index, err)
+	}
+	lines, err := readSplit(task.Split)
+	if err != nil {
+		return 0, fmt.Errorf("map %d read: %w", task.Index, err)
+	}
+	buckets := make([]partitionData, task.NumReducers)
+	for i := range buckets {
+		buckets[i] = partitionData{}
+	}
+	emit := func(k, v string) {
+		b := buckets[mapreduce.PartitionOf(k, task.NumReducers)]
+		b[k] = append(b[k], v)
+	}
+	for _, line := range lines {
+		if err := mapper.Map(line.offset, line.text, emit, led); err != nil {
+			return 0, fmt.Errorf("map %d: %w", task.Index, err)
+		}
+	}
+	if err := mapper.Cleanup(emit, led); err != nil {
+		return 0, fmt.Errorf("map %d cleanup: %w", task.Index, err)
+	}
+	if jt.NewCombiner != nil {
+		c, err := jt.NewCombiner(task.Params)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.Setup(cache, led); err != nil {
+			return 0, fmt.Errorf("map %d combiner setup: %w", task.Index, err)
+		}
+		for i, b := range buckets {
+			nb := partitionData{}
+			cemit := func(k, v string) { nb[k] = append(nb[k], v) }
+			for k, vs := range b {
+				if err := c.Reduce(k, vs, cemit, led); err != nil {
+					return 0, fmt.Errorf("map %d combine: %w", task.Index, err)
+				}
+			}
+			buckets[i] = nb
+		}
+	}
+	w.mu.Lock()
+	w.outputs[outputKey{task.Seq, task.Index}] = buckets
+	w.mu.Unlock()
+	return int64(len(lines)), nil
+}
+
+// runReduce executes one reduce task: fetch this partition from every map
+// task's producer with capped-backoff retries, merge in map-index order,
+// process keys sorted (the engine's order), and return the output records.
+// Unfetchable map outputs are returned as FailedMaps for the master's
+// FetchFailed recovery; the reduce itself then fails this attempt.
+func (w *worker) runReduce(ctx context.Context, task *TaskSpec) ([]KV, []int, error) {
+	jt, err := lookupJobType(task.Type)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache, err := w.cacheFiles(ctx, task)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged := map[string][]string{}
+	var failed []int
+	for mi, addr := range task.MapAddrs {
+		u := fmt.Sprintf("http://%s/dist/output?seq=%d&map=%d&part=%d",
+			addr, task.Seq, mi, task.Index)
+		data, err := w.fetchURL(ctx, u)
+		if err != nil {
+			if exec.IsCancellation(err) {
+				return nil, nil, err
+			}
+			w.log.Append(obs.LiveEvent{Event: "fetch_failed", Worker: w.id,
+				Job: task.Job, Seq: task.Seq, Phase: PhaseReduce,
+				Task: task.Index + 1, Detail: fmt.Sprintf("map %d at %s: %v", mi, addr, err)})
+			failed = append(failed, mi)
+			continue
+		}
+		var part partitionData
+		if err := json.Unmarshal(data, &part); err != nil {
+			failed = append(failed, mi)
+			continue
+		}
+		for k, vs := range part {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, failed, fmt.Errorf("dist: reduce %d: %d map outputs unfetchable", task.Index, len(failed))
+	}
+	reducer, err := jt.NewReducer(task.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	led := new(sim.Ledger)
+	if err := reducer.Setup(cache, led); err != nil {
+		return nil, nil, fmt.Errorf("reduce %d setup: %w", task.Index, err)
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
+	for _, k := range keys {
+		if err := reducer.Reduce(k, merged[k], emit, led); err != nil {
+			return nil, nil, fmt.Errorf("reduce %d key %q: %w", task.Index, k, err)
+		}
+	}
+	return out, nil, nil
+}
+
+// handleOutput serves one stored map-output partition as JSON.
+func (w *worker) handleOutput(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seq, err1 := strconv.Atoi(q.Get("seq"))
+	mi, err2 := strconv.Atoi(q.Get("map"))
+	part, err3 := strconv.Atoi(q.Get("part"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		http.Error(rw, "bad query", http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	buckets, ok := w.outputs[outputKey{seq, mi}]
+	w.mu.Unlock()
+	if !ok || part < 0 || part >= len(buckets) {
+		http.Error(rw, "no such partition", http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(buckets[part]) //nolint:errcheck
+}

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with deterministic,
+// seed-driven jitter. It is the one retry-arithmetic helper shared across
+// the repository: node-blacklist windows (chaos.NodeHealth), the distributed
+// workers' map-output fetch retries, worker<->master RPC retries and real
+// input-file read retries all derive their delays from it, instead of each
+// site growing its own shift-and-cap arithmetic.
+//
+// Delay(attempt) for attempt n is Base * Factor^n, capped at Cap, then
+// jittered downward by up to Jitter of itself. The jitter is a pure FNV hash
+// of (Seed, attempt) — like every other randomized decision in this
+// repository it depends only on declared identity, never on wall-clock or
+// goroutine scheduling, so two runs with the same seed wait exactly the same
+// virtual (or real) durations and stay byte-identical.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 0). A non-positive
+	// Base yields zero delays.
+	Base time.Duration
+	// Cap bounds the exponential growth. Zero means no cap beyond the
+	// overflow guard (delays never overflow time.Duration).
+	Cap time.Duration
+	// Factor is the per-attempt multiplier (default 2).
+	Factor float64
+	// Jitter in [0, 1] shrinks each delay by up to that fraction,
+	// deterministically from Seed: delay * (1 - Jitter*u) with u in [0, 1).
+	// Zero disables jitter.
+	Jitter float64
+	// Seed drives the jitter hash.
+	Seed int64
+}
+
+// maxDoublings bounds the exponent so the shift arithmetic cannot overflow
+// time.Duration even for multi-second bases (2^30 * 30s ~ 1000 years).
+const maxDoublings = 30
+
+// Delay returns the backoff delay before retry number attempt (0-based).
+// Negative attempts are treated as 0.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > maxDoublings {
+		attempt = maxDoublings
+	}
+	var d float64
+	if factor := b.Factor; factor > 0 && factor != 2 {
+		d = float64(b.Base)
+		for i := 0; i < attempt; i++ {
+			d *= factor
+			if (b.Cap > 0 && d >= float64(b.Cap)) || d >= float64(1<<62) {
+				break
+			}
+		}
+	} else {
+		// The default doubling factor runs on integer shifts, so delays are
+		// exact: a blacklist window of Base<<n stays bit-identical to the
+		// shift arithmetic it replaced.
+		n := b.Base
+		for i := 0; i < attempt; i++ {
+			n <<= 1
+			if (b.Cap > 0 && n >= b.Cap) || n >= 1<<62 || n <= 0 {
+				break
+			}
+		}
+		if n <= 0 { // overflowed past the guard
+			n = 1 << 62
+		}
+		d = float64(n)
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if d >= float64(1<<62) {
+		d = float64(1 << 62)
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 - j*hashUnit(b.Seed, attempt)
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for Delay(attempt) or until the context is done, whichever
+// comes first, returning the sentinel-wrapped context error on early wakeup.
+// A zero delay returns immediately (after a cancellation check).
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	if err := ContextErr(ctx); err != nil {
+		return err
+	}
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ContextErr(ctx)
+	}
+}
+
+// hashUnit maps (seed, attempt) to a deterministic uniform value in [0, 1),
+// the same FNV-1a construction the chaos plan uses for fault decisions.
+func hashUnit(seed int64, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}

@@ -205,6 +205,14 @@ func hashString(s string) uint32 {
 	return h.Sum32()
 }
 
+// PartitionOf returns the reduce partition the engine routes key to. The
+// distributed runtime's workers use it so their shuffle partitioning is
+// bit-identical to the in-memory engine's — a precondition for byte-equal
+// job output between the two executors.
+func PartitionOf(key string, numReducers int) int {
+	return int(hashString(key)) % numReducers
+}
+
 // mapOutput is one map task's partitioned, optionally combined output.
 type mapOutput struct {
 	buckets []map[string][]string // [reducePartition] -> key -> values
@@ -364,7 +372,7 @@ func (r *Runner) runMapStage(ctx context.Context, job Job, splits []dfs.Split, c
 		}
 		var emitted int64
 		emit := func(k, v string) {
-			b := out.buckets[int(hashString(k))%job.NumReducers]
+			b := out.buckets[PartitionOf(k, job.NumReducers)]
 			b[k] = append(b[k], v)
 			emitted++
 		}

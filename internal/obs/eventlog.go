@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// LiveEvent is one line of a live (wall-clock) event journal. The virtual
+// journal in journal.go replays a recorded sim run; LiveEvent covers the
+// real distributed runtime, where heartbeats, lease grants and worker
+// deaths happen in real time and are worth journaling as they occur —
+// especially from a worker that is about to be SIGKILLed.
+type LiveEvent struct {
+	// TsMs is milliseconds since the log was created; stamped by Append
+	// when left zero.
+	TsMs float64 `json:"ts_ms"`
+	// Event names the event kind ("worker_register", "lease_grant",
+	// "heartbeat_miss", "task_reassign", ...).
+	Event string `json:"event"`
+	// Worker is the runtime-assigned worker id (0 when not worker-scoped;
+	// worker ids start at 1 so zero always means "none").
+	Worker int    `json:"worker,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Job    string `json:"job,omitempty"`
+	// Seq is the job sequence number the event belongs to.
+	Seq   int    `json:"seq,omitempty"`
+	Phase string `json:"phase,omitempty"`
+	// Task is the task index within its phase, offset by one so index 0
+	// survives omitempty; readers subtract one.
+	Task    int    `json:"task,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded, thread-safe, append-only event journal. Events are
+// buffered in memory (so a live HTTP endpoint can dump them at any moment)
+// and, when the log was created with a writer, streamed to it as JSONL
+// line by line — a crash loses at most the line being written. A nil
+// *EventLog ignores every call.
+type EventLog struct {
+	mu      sync.Mutex
+	start   time.Time
+	w       io.Writer
+	enc     *json.Encoder
+	events  []LiveEvent
+	dropped int64
+}
+
+// eventLogCap bounds the in-memory buffer; beyond it events still stream to
+// the writer but only a drop counter remains in memory.
+const eventLogCap = 1 << 16
+
+// NewEventLog creates an event log starting its clock now. w may be nil to
+// keep events in memory only.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{start: time.Now(), w: w}
+	if w != nil {
+		l.enc = json.NewEncoder(w)
+	}
+	return l
+}
+
+// Append records one event, stamping its timestamp if unset.
+func (l *EventLog) Append(ev LiveEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ev.TsMs == 0 {
+		ev.TsMs = float64(time.Since(l.start)) / float64(time.Millisecond)
+	}
+	if len(l.events) < eventLogCap {
+		l.events = append(l.events, ev)
+	} else {
+		l.dropped++
+	}
+	if l.enc != nil {
+		l.enc.Encode(ev) //nolint:errcheck // journaling must never fail the run
+	}
+}
+
+// Events returns a snapshot of the buffered events.
+func (l *EventLog) Events() []LiveEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LiveEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// WriteTo dumps the buffered events as JSONL.
+func (l *EventLog) WriteTo(w io.Writer) (int64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventLogStreamsAndBuffers(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Append(LiveEvent{Event: "worker_register", Worker: 1, Addr: "127.0.0.1:999"})
+	l.Append(LiveEvent{Event: "lease_grant", Worker: 1, Phase: "map", Task: 1})
+
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("buffered %d events, want 2", len(events))
+	}
+	if events[0].Event != "worker_register" || events[1].Phase != "map" {
+		t.Fatalf("unexpected events %+v", events)
+	}
+	if events[0].TsMs < 0 {
+		t.Errorf("timestamp not stamped: %+v", events[0])
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d lines, want 2", len(lines))
+	}
+	var ev LiveEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if ev.Event != "lease_grant" || ev.Worker != 1 {
+		t.Errorf("decoded %+v", ev)
+	}
+
+	var dump bytes.Buffer
+	if _, err := l.WriteTo(&dump); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if dump.String() != buf.String() {
+		t.Errorf("WriteTo dump differs from stream:\n%s\nvs\n%s", dump.String(), buf.String())
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Append(LiveEvent{Event: "x"}) // must not panic
+	if evs := l.Events(); evs != nil {
+		t.Errorf("nil log Events = %v", evs)
+	}
+	if n, err := l.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Errorf("nil log WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := NewEventLog(nil)
+	for i := 0; i < eventLogCap+10; i++ {
+		l.Append(LiveEvent{Event: "hb"})
+	}
+	if got := len(l.Events()); got != eventLogCap {
+		t.Errorf("buffer grew to %d, want cap %d", got, eventLogCap)
+	}
+	l.mu.Lock()
+	dropped := l.dropped
+	l.mu.Unlock()
+	if dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+}
