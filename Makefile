@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt test race vet vuln check chaos diag dist-smoke fuzz-smoke bench bench-json clean
+.PHONY: build fmt test race vet vuln check chaos diag dist-smoke dist-chaos fuzz-smoke bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,27 @@ dist-smoke:
 	$(GO) build -race -o $(DIST_SMOKE_DIR)/yafim ./cmd/yafim
 	$(DIST_SMOKE_DIR)/yafim -dist smoke -dist-workers 2 \
 		-dist-logs $(DIST_SMOKE_DIR) -timeout 120s
+
+# dist-chaos proves the runtime has no single point of failure left: first
+# the Go-level suite under the race detector — SIGKILL the MASTER mid-pass
+# and resume it from the write-ahead journal (TestMasterKillResumeParity),
+# mine to byte-identical results through a seeded fault-injecting transport
+# (TestChaosMiningParityWordCount), the ChaosTransport determinism and fault
+# unit tests, and the fetch-budget bound — then the CLI smoke mode with a
+# chaos seed on every worker link, which additionally SIGKILLs a worker
+# mid-run. Logs plus the master's WAL land under artifacts/dist-chaos for CI
+# to upload on failure.
+DIST_CHAOS_DIR ?= artifacts/dist-chaos
+DIST_CHAOS_SEED ?= 42
+dist-chaos:
+	@mkdir -p $(DIST_CHAOS_DIR)
+	@$(GO) test -race -count=1 -v -timeout 300s \
+		-run 'TestMasterKillResumeParity|TestChaosMiningParityWordCount|TestChaosTransport|TestReduceFetchBudget|TestReduceDrainBeatsBudget' \
+		./internal/dist/ > $(DIST_CHAOS_DIR)/chaos-test.log 2>&1; \
+		s=$$?; cat $(DIST_CHAOS_DIR)/chaos-test.log; [ $$s -eq 0 ]
+	$(GO) build -race -o $(DIST_CHAOS_DIR)/yafim ./cmd/yafim
+	$(DIST_CHAOS_DIR)/yafim -dist smoke -dist-workers 2 \
+		-dist-chaos $(DIST_CHAOS_SEED) -dist-logs $(DIST_CHAOS_DIR) -timeout 120s
 
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on top of
 # its seed corpus — enough to catch regressions in the determinism and

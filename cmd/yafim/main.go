@@ -31,10 +31,15 @@
 // leases) plus live observability (/metrics, /dist/events) on -dist-addr,
 // waits for -dist-workers workers, then runs every mining pass as real map
 // and reduce tasks leased to the worker processes; -journal mirrors the live
-// protocol journal to a file as it happens. A worker joins the given master
-// and drains gracefully on SIGTERM. Smoke mode forks its own workers,
-// SIGKILLs one mid-run (disable with -dist-kill=false), and verifies the
-// surviving run's itemsets are byte-identical to the in-memory sim oracle.
+// protocol journal to a file as it happens. With -dist-wal the master
+// write-ahead journals its lease table, and -dist-resume rebuilds it from
+// that journal after a crash — surviving workers reconnect on their own (see
+// README "Surviving a master restart"). A worker joins the given master and
+// drains gracefully on SIGTERM; -dist-chaos seeds a network-fault transport
+// (drops, delays, duplicates) under every call the worker makes. Smoke mode
+// forks its own workers, SIGKILLs one mid-run (disable with
+// -dist-kill=false), and verifies the surviving run's itemsets are
+// byte-identical to the in-memory sim oracle.
 //
 // Runs are interruptible: -timeout bounds the real (wall-clock) time of the
 // mining run, and Ctrl-C (SIGINT) or SIGTERM cancels it at the next task
@@ -105,6 +110,9 @@ type cliFlags struct {
 	distWorkers int
 	distKill    bool
 	distLogs    string
+	distWAL     string
+	distResume  bool
+	distChaos   int64
 
 	supportSet bool
 }
@@ -139,6 +147,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&f.distWorkers, "dist-workers", 2, "workers to wait for (-dist master) or to fork (-dist smoke)")
 	fs.BoolVar(&f.distKill, "dist-kill", true, "SIGKILL one forked worker mid-run under -dist smoke")
 	fs.StringVar(&f.distLogs, "dist-logs", "", "directory for worker logs and the master journal under -dist smoke (default: a temp dir)")
+	fs.StringVar(&f.distWAL, "dist-wal", "", "write-ahead journal file for the master's lease table (-dist master/smoke); enables crash recovery")
+	fs.BoolVar(&f.distResume, "dist-resume", false, "replay -dist-wal before serving (-dist master): resume a crashed master's state")
+	fs.Int64Var(&f.distChaos, "dist-chaos", 0, "seed a network-fault transport (drops, delays, duplicates) into workers; 0 disables")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -465,12 +476,23 @@ func printItemsets(w io.Writer, res *yafim.Result, top int) {
 
 // runDistWorker joins the given master and serves until SIGINT/SIGTERM,
 // then drains gracefully (the in-flight task finishes and is reported).
+// With -dist-chaos, every HTTP call the worker makes — master RPC and peer
+// map-output fetches alike — runs through the seeded fault transport.
 func runDistWorker(ctx context.Context, f cliFlags, stderr io.Writer) error {
 	if f.distMaster == "" {
 		return fmt.Errorf("-dist worker requires -dist-master http://host:port")
 	}
+	opts := yafim.DistWorkerOptions{MasterURL: f.distMaster}
+	if f.distChaos != 0 {
+		ct, err := yafim.NewDistChaosTransport(yafim.DefaultDistTransportPlan(f.distChaos), nil)
+		if err != nil {
+			return err
+		}
+		opts.Transport = ct
+		fmt.Fprintf(stderr, "yafim: worker under chaos transport, seed %d\n", f.distChaos)
+	}
 	fmt.Fprintf(stderr, "yafim: worker joining %s\n", f.distMaster)
-	return yafim.RunDistWorker(ctx, yafim.DistWorkerOptions{MasterURL: f.distMaster})
+	return yafim.RunDistWorker(ctx, opts)
 }
 
 // distJournal opens the live protocol journal for a dist-mode run. The
@@ -505,11 +527,25 @@ func runDistMaster(ctx context.Context, f cliFlags, stdout, stderr io.Writer) er
 		return err
 	}
 	defer closeJournal()
-	master, err := yafim.NewDistMaster(f.distAddr, yafim.DefaultDistTuning(), log, yafim.NewMetricsRegistry())
+	if f.distResume && f.distWAL == "" {
+		return fmt.Errorf("-dist-resume requires -dist-wal")
+	}
+	master, err := yafim.StartDistMaster(yafim.DistMasterOptions{
+		Addr: f.distAddr, Tuning: yafim.DefaultDistTuning(),
+		Log: log, Reg: yafim.NewMetricsRegistry(),
+		JournalPath: f.distWAL, Resume: f.distResume,
+	})
 	if err != nil {
 		return err
 	}
 	defer master.Close()
+	if f.distWAL != "" {
+		mode := "journaling to"
+		if f.distResume {
+			mode = "resumed from"
+		}
+		fmt.Fprintf(stderr, "yafim: master %s %s\n", mode, f.distWAL)
+	}
 	fmt.Fprintf(stderr, "yafim: master serving worker protocol on %s (journal: /dist/events, metrics: /metrics)\n", master.URL())
 	fmt.Fprintf(stderr, "yafim: waiting for %d worker(s); start them with: yafim -dist worker -dist-master %s\n",
 		f.distWorkers, master.URL())
@@ -609,7 +645,14 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 		HeartbeatTimeout:  time.Second,
 		LeaseDeadline:     60 * time.Second,
 	}
-	master, err := yafim.NewDistMaster("127.0.0.1:0", tuning, log, yafim.NewMetricsRegistry())
+	wal := f.distWAL
+	if wal == "" {
+		wal = filepath.Join(logsDir, "master.wal")
+	}
+	master, err := yafim.StartDistMaster(yafim.DistMasterOptions{
+		Addr: "127.0.0.1:0", Tuning: tuning,
+		Log: log, Reg: yafim.NewMetricsRegistry(), JournalPath: wal,
+	})
 	if err != nil {
 		return err
 	}
@@ -654,7 +697,13 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 			return err
 		}
 		logFiles = append(logFiles, lf)
-		cmd := osexec.Command(exe, "-dist", "worker", "-dist-master", master.URL())
+		wargs := []string{"-dist", "worker", "-dist-master", master.URL()}
+		if f.distChaos != 0 {
+			// Each worker gets its own seed so their fault schedules differ;
+			// parity against the oracle must hold under all of them at once.
+			wargs = append(wargs, "-dist-chaos", fmt.Sprint(f.distChaos+int64(i)))
+		}
+		cmd := osexec.Command(exe, wargs...)
 		// The re-exec gate: a test binary hosting this code routes the
 		// child into run() when it sees this variable; the real yafim
 		// binary just parses the args.
@@ -718,6 +767,9 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 		default:
 			return fmt.Errorf("dist-smoke: run finished before any task completion was observed; kill never fired")
 		}
+	}
+	if f.distChaos != 0 {
+		killNote += fmt.Sprintf(", chaos transport seed %d", f.distChaos)
 	}
 	fmt.Fprintf(stdout, "dist-smoke: PARITY OK — %d frequent itemsets (maxk=%d) across %d workers, %s\n",
 		oracle.Result.NumFrequent(), oracle.Result.MaxK(), f.distWorkers, killNote)

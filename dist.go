@@ -2,7 +2,9 @@ package yafim
 
 import (
 	"context"
+	"errors"
 	"io"
+	"net/http"
 
 	"yafim/internal/dist"
 	"yafim/internal/experiments"
@@ -25,6 +27,19 @@ type (
 	DistTuning = dist.Tuning
 	// DistWorkerOptions configures one worker process.
 	DistWorkerOptions = dist.WorkerOptions
+	// DistMasterOptions configures StartDistMaster, including the master's
+	// write-ahead journal and crash-recovery resume.
+	DistMasterOptions = dist.MasterOptions
+	// DistTransportPlan is a seeded network-fault schedule for a
+	// DistChaosTransport: drop, delay and duplicate probabilities plus
+	// link-partition windows, all deterministic in the seed.
+	DistTransportPlan = dist.TransportPlan
+	// DistLinkPartition cuts links matching a target substring for a
+	// real-time window of a DistTransportPlan.
+	DistLinkPartition = dist.LinkPartition
+	// DistChaosTransport is an http.RoundTripper injecting a
+	// DistTransportPlan's faults; plug it into DistWorkerOptions.Transport.
+	DistChaosTransport = dist.ChaosTransport
 	// LiveLog is a bounded in-memory journal of live runtime events
 	// (registrations, leases, completions, deaths, recoveries), drainable
 	// as JSONL while a run executes.
@@ -46,9 +61,43 @@ func NewLiveLog(mirror io.Writer) *LiveLog { return obs.NewEventLog(mirror) }
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewDistMaster starts a master serving the worker protocol on addr
-// (host:port, port 0 for ephemeral). log and reg may be nil.
+// (host:port, port 0 for ephemeral). log and reg may be nil. Journal-less
+// convenience wrapper around StartDistMaster.
 func NewDistMaster(addr string, t DistTuning, log *LiveLog, reg *MetricsRegistry) (*DistMaster, error) {
-	return dist.NewMaster(addr, t, log, reg)
+	return StartDistMaster(DistMasterOptions{Addr: addr, Tuning: t, Log: log, Reg: reg})
+}
+
+// StartDistMaster starts a master with the full option surface: set
+// JournalPath to write-ahead journal every lease-table transition, and
+// Resume to rebuild the table from that journal after a master crash —
+// surviving workers reconnect and re-advertise their map outputs, finished
+// passes return memoized, and the interrupted pass resumes where the journal
+// left it. Invalid options surface as *InputError.
+func StartDistMaster(opts DistMasterOptions) (*DistMaster, error) {
+	m, err := dist.StartMaster(opts)
+	if err != nil {
+		var ie *dist.InputError
+		if errors.As(err, &ie) {
+			return nil, &InputError{Field: ie.Field, Reason: ie.Reason}
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// DefaultDistTransportPlan returns a moderate seeded all-faults plan (drops,
+// lost responses, duplicates, delays on every link) for chaos smoke runs.
+func DefaultDistTransportPlan(seed int64) DistTransportPlan {
+	return dist.DefaultTransportPlan(seed)
+}
+
+// NewDistChaosTransport wraps base (nil means http.DefaultTransport) with
+// the plan's seeded fault schedule. The mined result under any plan must be
+// byte-identical to a fault-free run — the worker protocol is idempotent
+// under duplicated, delayed and lost delivery; this transport is how that
+// claim is exercised.
+func NewDistChaosTransport(plan DistTransportPlan, base http.RoundTripper) (*DistChaosTransport, error) {
+	return dist.NewChaosTransport(plan, base)
 }
 
 // RunDistWorker runs a worker against the master until ctx is canceled,

@@ -110,12 +110,17 @@ func DefaultPlan(seed int64) *Plan {
 	}
 }
 
-// hash01 maps the decision identity to a deterministic uniform value in
-// [0, 1). FNV-1a is stable across platforms and Go versions.
-func (p *Plan) hash01(domain string, keys ...int64) float64 {
+// Unit maps (seed, domain, keys...) to a deterministic uniform value in
+// [0, 1). FNV-1a is stable across platforms and Go versions. It is the one
+// randomness primitive shared by every seeded decision in the repository:
+// the fault plan's injection choices here, and the distributed runtime's
+// seeded network-fault transport (dist.ChaosTransport), which hashes its
+// drop/delay/duplicate decisions through the same construction so a
+// transport fault schedule is as reproducible as a sim fault plan.
+func Unit(seed int64, domain string, keys ...int64) float64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(p.Seed))
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
 	h.Write(buf[:])
 	h.Write([]byte(domain))
 	for _, k := range keys {
@@ -123,6 +128,12 @@ func (p *Plan) hash01(domain string, keys ...int64) float64 {
 		h.Write(buf[:])
 	}
 	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// hash01 maps the decision identity to a deterministic uniform value in
+// [0, 1) under the plan's seed.
+func (p *Plan) hash01(domain string, keys ...int64) float64 {
+	return Unit(p.Seed, domain, keys...)
 }
 
 // hashN maps the decision identity to a deterministic value in [0, n).

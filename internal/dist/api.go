@@ -122,10 +122,23 @@ const (
 	PhaseReduce = "reduce"
 )
 
+// OutputAd re-advertises one map output the registering worker still serves
+// from a previous registration. A worker that outlives a master restart (or
+// its own declared death) carries its completed partitions in memory; the
+// master rebinds each advertised output to the fresh worker id — provided
+// its table agrees a dead worker at the same address produced it — instead
+// of recomputing the map.
+type OutputAd struct {
+	Seq int `json:"seq"`
+	Map int `json:"map"`
+}
+
 // RegisterRequest announces a worker to the master. Addr is the worker's
-// reachable HTTP address for map-output fetches.
+// reachable HTTP address for map-output fetches. Outputs re-advertises map
+// outputs still served from a previous incarnation, if any.
 type RegisterRequest struct {
-	Addr string `json:"addr"`
+	Addr    string     `json:"addr"`
+	Outputs []OutputAd `json:"outputs,omitempty"`
 }
 
 // RegisterResponse assigns the worker its id and the heartbeat cadence the

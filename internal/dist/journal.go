@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The master's write-ahead journal: one JSONL record per lease-table state
+// transition, appended under the table lock and fsync'd in batches. The
+// journal exists so a SIGKILLed master can be restarted with its state
+// intact (see replay.go); it is distinct from the live obs.EventLog, which
+// is an observability surface and makes no durability promises.
+//
+// Durability contract: losing any *suffix* of the journal is always safe.
+// Every record describes work a worker can redo (an unjournaled completion
+// is simply re-leased after replay; an unjournaled registration is repaired
+// by the rejoin path), so fsync batching trades re-work, never correctness.
+// Records that retire work (completions, job boundaries, invalidations) are
+// synced before the master acknowledges them; chatter that is cheap to
+// reconstruct (lease grants, strikes, registrations) rides along with the
+// next synced batch.
+
+// Journal record kinds.
+const (
+	recJobStart   = "job_start"
+	recRegister   = "register"
+	recWorkerDead = "worker_dead"
+	recStrike     = "strike"
+	recLease      = "lease"
+	recMapDone    = "map_done"
+	recMapLost    = "map_lost"
+	recMapRebind  = "map_rebind"
+	recReduceDone = "reduce_done"
+	recJobDone    = "job_done"
+	recJobFail    = "job_fail"
+)
+
+// walRecord is one journal line. One flat struct covers every record kind;
+// unused fields stay zero and are omitted from the JSON. Task is the task
+// index offset by one (the LiveEvent convention), so index 0 survives
+// omitempty; readers subtract one.
+type walRecord struct {
+	Rec string `json:"rec"`
+
+	// Job identity (job_start, job_done, job_fail).
+	Job         string  `json:"job,omitempty"`
+	Type        string  `json:"type,omitempty"`
+	InputPath   string  `json:"input_path,omitempty"`
+	Seq         int     `json:"seq,omitempty"`
+	Splits      []Split `json:"splits,omitempty"`
+	NumReducers int     `json:"num_reducers,omitempty"`
+
+	// Worker identity (register, worker_dead, strike, lease, completions).
+	Worker int    `json:"worker,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+
+	// Task identity (lease, map_done, map_lost, map_rebind, reduce_done).
+	Phase   string `json:"phase,omitempty"`
+	Task    int    `json:"task,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+
+	// Completion payloads.
+	InputRecords    int64  `json:"input_records,omitempty"`
+	Output          []KV   `json:"output,omitempty"`
+	MapInputRecords int64  `json:"map_input_records,omitempty"`
+	DurationNS      int64  `json:"duration_ns,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// durationFromNS converts a journaled duration back to time.Duration.
+func durationFromNS(ns int64) time.Duration { return time.Duration(ns) }
+
+// wal is the append-only journal writer. A nil *wal ignores every call, so
+// a journal-less master costs nothing. Appends buffer through bufio; sync
+// flushes the buffer and fsyncs the file, covering every record appended
+// since the previous sync — the "fsync'd batches" in the package contract.
+type wal struct {
+	mu    sync.Mutex
+	f     *os.File
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	dead  bool  // abort() was called: drop everything silently
+	syncs int64 // fsyncs issued, for tests
+}
+
+// openWAL opens (creating if needed) the journal for appending.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: journal: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	return &wal{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// append journals one record. With sync set, the buffered batch is flushed
+// and fsync'd before returning — the caller may then acknowledge the state
+// transition to a worker. Write errors are swallowed by design: a full disk
+// must degrade durability, not kill a running job (the next resume simply
+// replays less).
+func (w *wal) append(rec walRecord, sync bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return
+	}
+	w.enc.Encode(rec) //nolint:errcheck // see doc comment
+	if sync {
+		w.bw.Flush() //nolint:errcheck
+		w.f.Sync()   //nolint:errcheck
+		w.syncs++
+	}
+}
+
+// close flushes, fsyncs and closes the journal (graceful shutdown).
+func (w *wal) close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return nil
+	}
+	w.dead = true
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close() //nolint:errcheck
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close() //nolint:errcheck
+		return err
+	}
+	return w.f.Close()
+}
+
+// abort emulates the journal's fate under SIGKILL: the bufio buffer — every
+// record since the last sync — is dropped, the descriptor closed, and all
+// further appends ignored. Tests kill a master with Abort and must observe
+// exactly the durability the real crash would leave behind.
+func (w *wal) abort() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.f.Close() //nolint:errcheck // buffered bytes deliberately dropped
+}

@@ -1,0 +1,483 @@
+package dist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// walTable returns a lease table journaling to a fresh file, plus the path.
+func walTable(t testing.TB) (*leaseTable, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "master.wal")
+	tb := newLeaseTable(testTuning(), nil, nil)
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.wal = w
+	t.Cleanup(func() { w.close() }) //nolint:errcheck
+	return tb, path
+}
+
+// replayInto replays the journal at path into a fresh table, failing the
+// test on replay errors or invariant violations.
+func replayInto(t testing.TB, path string) *leaseTable {
+	t.Helper()
+	st, _, err := replayWAL(path)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	tb := newLeaseTable(testTuning(), nil, nil)
+	tb.restore(st)
+	if err := tb.checkInvariants(); err != nil {
+		t.Fatalf("invariants after replay: %v", err)
+	}
+	return tb
+}
+
+func TestTuningValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tun   Tuning
+		field string // "" means valid
+	}{
+		{"zero is valid", Tuning{}, ""},
+		{"defaults are valid", DefaultTuning(), ""},
+		{"negative heartbeat", Tuning{HeartbeatInterval: -time.Second}, "Tuning.HeartbeatInterval"},
+		{"negative timeout", Tuning{HeartbeatTimeout: -1}, "Tuning.HeartbeatTimeout"},
+		{"negative lease deadline", Tuning{LeaseDeadline: -time.Minute}, "Tuning.LeaseDeadline"},
+		{"negative blacklist base", Tuning{BlacklistBase: -1}, "Tuning.BlacklistBase"},
+		{"negative workers", Tuning{MaxWorkers: -1}, "Tuning.MaxWorkers"},
+		{"negative attempts", Tuning{MaxTaskAttempts: -4}, "Tuning.MaxTaskAttempts"},
+		{"negative blacklist budget", Tuning{BlacklistAfter: -2}, "Tuning.BlacklistAfter"},
+		{"timeout under interval", Tuning{HeartbeatInterval: time.Second, HeartbeatTimeout: time.Millisecond}, "Tuning.HeartbeatTimeout"},
+		{"timeout only is valid", Tuning{HeartbeatTimeout: time.Millisecond}, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tun.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var ie *InputError
+			if !errors.As(err, &ie) {
+				t.Fatalf("Validate() = %v, want *InputError", err)
+			}
+			if ie.Field != tc.field {
+				t.Fatalf("InputError.Field = %q, want %q", ie.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestStartMasterRejectsBadTuning(t *testing.T) {
+	_, err := StartMaster(MasterOptions{Tuning: Tuning{HeartbeatInterval: -time.Second}})
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("StartMaster = %v, want *InputError", err)
+	}
+	if _, err := StartMaster(MasterOptions{Resume: true}); err == nil {
+		t.Fatal("StartMaster(Resume without JournalPath) succeeded")
+	}
+}
+
+// TestJournalReplayMidJob crashes (closes) the journal with a job mid-flight
+// and checks the replayed table: completed work held, running work re-queued,
+// the job suspended until a driver re-submits it.
+func TestJournalReplayMidJob(t *testing.T) {
+	tb, path := walTable(t)
+	w1 := register(t, tb, "a:1", 0)
+	w2 := register(t, tb, "b:2", 0)
+	testJob(t, tb, 2, 2)
+
+	m1, _ := tb.lease(w1, 0)
+	m2, _ := tb.lease(w2, 0)
+	completeOK(tb, w1, m1, 0)
+	completeOK(tb, w2, m2, 0)
+	r1, _ := tb.lease(w1, 0)
+	completeOK(tb, w1, r1, 0)
+	r2, _ := tb.lease(w2, 0) // leased, never completed: the crash window
+	if r2 == nil || r2.Phase != PhaseReduce {
+		t.Fatalf("lease = %+v, want reduce", r2)
+	}
+	tb.wal.close() //nolint:errcheck
+
+	rt := replayInto(t, path)
+	if len(rt.workers) != 2 || !rt.workers[0].dead || !rt.workers[1].dead {
+		t.Fatalf("replayed workers = %+v, want 2, all dead", rt.workers)
+	}
+	j := rt.job
+	if j == nil || !j.suspended {
+		t.Fatal("in-flight job not restored as suspended")
+	}
+	if j.mapsDone != 2 || j.reducesDone != 1 {
+		t.Fatalf("restored progress = %d maps, %d reduces; want 2, 1", j.mapsDone, j.reducesDone)
+	}
+	run := j.reduces[r2.Index]
+	if run.state != taskIdle || run.attempts != 1 {
+		t.Fatalf("crashed-lease reduce = state %v attempts %d; want idle with 1 attempt",
+			run.state, run.attempts)
+	}
+	if j.maps[m1.Index].addr != "a:1" || j.maps[m2.Index].addr != "b:2" {
+		t.Fatalf("map addrs not restored: %q, %q", j.maps[m1.Index].addr, j.maps[m2.Index].addr)
+	}
+
+	// Suspended: no leases, even for a freshly registered worker.
+	w3, err := rt.register("c:3", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task, _ := rt.lease(w3, 0); task != nil {
+		t.Fatalf("suspended job leaked a lease: %+v", task)
+	}
+
+	// Adoption: the same spec re-submitted resumes the job in place.
+	splits := make([]Split, 2)
+	for i := range splits {
+		splits[i] = Split{Path: "/in", Offset: int64(i * 100), Length: 100}
+	}
+	j2, err := rt.startJob(&JobSpec{Name: "j", Type: "t", NumMaps: 2, NumReducers: 2}, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 != j || j2.suspended {
+		t.Fatal("re-submitted job was not adopted in place")
+	}
+	if j2.seq != j.seq {
+		t.Fatalf("adopted job changed seq: %d -> %d", j.seq, j2.seq)
+	}
+
+	// The one idle reduce is all that remains; a worker drains it. Map
+	// outputs stay bound to dead workers' addrs — serving them is the
+	// re-registration rebind's job, FetchFailed the fallback.
+	task, _ := rt.lease(w3, 0)
+	if task == nil || task.Phase != PhaseReduce || task.Index != r2.Index {
+		t.Fatalf("post-adoption lease = %+v, want reduce %d", task, r2.Index)
+	}
+	if task.MapAddrs[0] != "a:1" || task.MapAddrs[1] != "b:2" {
+		t.Fatalf("adopted reduce MapAddrs = %v", task.MapAddrs)
+	}
+	completeOK(rt, w3, task, 0)
+	out, err := rt.result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.KVs) != 2 || out.MapInputRecords != 2 {
+		t.Fatalf("resumed result = %+v", out)
+	}
+}
+
+// TestLeaseRegrantAfterLostResponse covers the at-least-once edge on the
+// grant itself: the master leased a task but the response never reached the
+// worker. The worker's next lease request (its loop is serial, so asking
+// proves it is idle) must get the stranded task back immediately — same
+// attempt, no budget burned — rather than waiting out the lease deadline.
+func TestLeaseRegrantAfterLostResponse(t *testing.T) {
+	tb, path := walTable(t)
+	w := register(t, tb, "a:1", 0)
+	testJob(t, tb, 2, 1)
+
+	first, _ := tb.lease(w, 0) // granted, but the response is "lost"
+	if first == nil {
+		t.Fatal("no initial grant")
+	}
+	again, rejoin := tb.lease(w, 10*time.Millisecond)
+	if rejoin || again == nil {
+		t.Fatalf("re-request = %+v rejoin=%v, want the stranded task back", again, rejoin)
+	}
+	if again.Phase != first.Phase || again.Index != first.Index || again.Attempt != first.Attempt {
+		t.Fatalf("re-grant = %s %d attempt %d, want %s %d attempt %d",
+			again.Phase, again.Index, again.Attempt, first.Phase, first.Index, first.Attempt)
+	}
+	// The re-grant refreshed the deadline: a sweep just past the original
+	// expiry must not expire it.
+	tb.heartbeat(w, time.Second+5*time.Millisecond)
+	tb.sweep(time.Second + 5*time.Millisecond)
+	tb.mu.Lock()
+	state := tb.job.maps[first.Index].state
+	attempts := tb.job.maps[first.Index].attempts
+	tb.mu.Unlock()
+	if state != taskRunning || attempts != 1 {
+		t.Fatalf("after sweep: state %v attempts %d, want still running with 1 attempt", state, attempts)
+	}
+	completeOK(tb, w, again, 0)
+	tb.wal.close() //nolint:errcheck
+
+	// Replay: the duplicate lease record restores the same single attempt.
+	rt := replayInto(t, path)
+	if got := rt.job.maps[first.Index].attempts; got != 1 {
+		t.Fatalf("replayed attempts = %d, want 1 (re-grant burns no budget)", got)
+	}
+}
+
+func TestJournalResumeMismatch(t *testing.T) {
+	tb, path := walTable(t)
+	register(t, tb, "a:1", 0)
+	testJob(t, tb, 2, 2)
+	tb.wal.close() //nolint:errcheck
+
+	rt := replayInto(t, path)
+	_, err := rt.startJob(&JobSpec{Name: "other", Type: "t", NumMaps: 2, NumReducers: 5},
+		[]Split{{Path: "/in", Length: 100}, {Path: "/in", Offset: 100, Length: 100}})
+	if err == nil || !strings.Contains(err.Error(), "resume mismatch") {
+		t.Fatalf("mismatched re-submission: err = %v, want resume mismatch", err)
+	}
+}
+
+// TestJournalMemoizedJob drives a job to completion, journals its result,
+// and checks a replayed master hands the memo back without re-execution.
+func TestJournalMemoizedJob(t *testing.T) {
+	tb, path := walTable(t)
+	w := register(t, tb, "a:1", 0)
+	testJob(t, tb, 2, 2)
+	drain(t, tb, w, 0)
+	out, err := tb.result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Duration = 7 * time.Second
+	tb.memoizeDone("j", out)
+	tb.wal.close() //nolint:errcheck
+
+	rt := replayInto(t, path)
+	if rt.job != nil {
+		t.Fatalf("finished job resurrected as in-flight: %+v", rt.job)
+	}
+	memo, ok := rt.finishedJob("j")
+	if !ok {
+		t.Fatal("finished job not memoized after replay")
+	}
+	if len(memo.KVs) != len(out.KVs) || memo.MapInputRecords != out.MapInputRecords {
+		t.Fatalf("memo = %+v, want %+v", memo, out)
+	}
+	if memo.Duration != 7*time.Second {
+		t.Fatalf("memo duration = %v, want 7s", memo.Duration)
+	}
+	// Within one lifetime, memoization never short-circuits: only replay
+	// populates the memo table.
+	if _, ok := tb.finishedJob("j"); ok {
+		t.Fatal("live table memoized its own job")
+	}
+}
+
+// TestJournalAllReducesDoneButJobDoneLost exercises the crash window between
+// the last reduce completion and the job_done record: the replayed job is
+// finished, its done channel closed at restore, and a matching re-submission
+// returns its output immediately.
+func TestJournalAllReducesDoneButJobDoneLost(t *testing.T) {
+	tb, path := walTable(t)
+	w := register(t, tb, "a:1", 0)
+	testJob(t, tb, 2, 2)
+	drain(t, tb, w, 0)
+	tb.wal.close() //nolint:errcheck // no memoizeDone: the crash beat the driver to it
+
+	rt := replayInto(t, path)
+	j := rt.job
+	if j == nil || !j.finished() {
+		t.Fatal("fully reduced job not restored as finished")
+	}
+	select {
+	case <-j.doneCh:
+	default:
+		t.Fatal("restored finished job's done channel not closed")
+	}
+	splits := []Split{{Path: "/in", Length: 100}, {Path: "/in", Offset: 100, Length: 100}}
+	j2, err := rt.startJob(&JobSpec{Name: "j", Type: "t", NumMaps: 2, NumReducers: 2}, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 != j {
+		t.Fatal("finished suspended job not adopted")
+	}
+	out, err := rt.result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.KVs) != 2 {
+		t.Fatalf("result KVs = %v", out.KVs)
+	}
+}
+
+// TestJournalRebindOnRegister replays a mid-job crash and re-registers a
+// worker at its old address with output advertisements: the done map must
+// rebind to the fresh id instead of being recomputed.
+func TestJournalRebindOnRegister(t *testing.T) {
+	tb, path := walTable(t)
+	w1 := register(t, tb, "a:1", 0)
+	testJob(t, tb, 2, 1)
+	m1, _ := tb.lease(w1, 0)
+	completeOK(tb, w1, m1, 0)
+	tb.wal.close() //nolint:errcheck
+
+	rt := replayInto(t, path)
+	seq := rt.job.seq
+
+	// Same address, correct ad: rebinds.
+	id, err := rt.register("a:1", []OutputAd{{Seq: seq, Map: m1.Index}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.job.maps[m1.Index].worker; got != id {
+		t.Fatalf("done map bound to worker %d, want rebound to %d", got, id)
+	}
+	if rt.job.mapsDone != 1 {
+		t.Fatalf("mapsDone = %d after rebind, want 1", rt.job.mapsDone)
+	}
+
+	// Wrong address: a different process cannot claim the output.
+	before := rt.job.maps[m1.Index].worker
+	if _, err := rt.register("evil:9", []OutputAd{{Seq: seq, Map: m1.Index}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.job.maps[m1.Index].worker != before {
+		t.Fatal("output stolen by a worker at a different address")
+	}
+}
+
+// TestJournalTornTail appends garbage (with and without a newline) to a
+// valid journal and checks replay stops cleanly at the tear, reporting the
+// offset of the last whole record.
+func TestJournalTornTail(t *testing.T) {
+	tb, path := walTable(t)
+	register(t, tb, "a:1", 0)
+	testJob(t, tb, 1, 1)
+	tb.wal.close() //nolint:errcheck
+
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tail := range []string{
+		`{"rec":"map_do`,          // torn mid-record, no newline
+		"\x00\x17garbage\n",       // torn with a newline: parses as garbage
+		`{"notarec":true}` + "\n", // valid JSON, no rec field
+		`{"rec":"map_done","seq"`, // torn JSON
+	} {
+		if err := os.WriteFile(path, append(append([]byte{}, whole...), tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, off, err := replayWAL(path)
+		if err != nil {
+			t.Fatalf("tail %q: replay error %v", tail, err)
+		}
+		if off != int64(len(whole)) {
+			t.Fatalf("tail %q: valid offset = %d, want %d", tail, off, len(whole))
+		}
+		if st.job == nil || len(st.workers) != 1 {
+			t.Fatalf("tail %q: replayed state lost records: %+v", tail, st)
+		}
+	}
+}
+
+// buildFuzzJournal drives a lease table through a seed-determined scenario —
+// registrations, leases, completions, failures, heartbeat-miss deaths — and
+// returns the journal bytes. Everything is virtual-time and deterministic in
+// seed, so the fuzzer explores scenarios by mutating one integer.
+func buildFuzzJournal(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	tb, path := walTable(t)
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	now := time.Duration(0)
+	var ids []int
+	for i := 0; i < 2+int(next(3)); i++ {
+		ids = append(ids, register(t, tb, "w:"+string(rune('a'+i)), now))
+	}
+	maps, reduces := 1+int(next(4)), 1+int(next(3))
+	testJob(t, tb, maps, reduces)
+	leased := map[int]*TaskSpec{}
+	for step := 0; step < 60; step++ {
+		id := ids[next(uint64(len(ids)))]
+		switch next(5) {
+		case 0, 1: // lease
+			if task, _ := tb.lease(id, now); task != nil {
+				leased[id] = task
+			}
+		case 2: // complete ok
+			if task := leased[id]; task != nil {
+				completeOK(tb, id, task, now)
+				delete(leased, id)
+			}
+		case 3: // complete failed
+			if task := leased[id]; task != nil {
+				tb.complete(&CompleteRequest{WorkerID: id, Seq: task.Seq,
+					Phase: task.Phase, Index: task.Index, Attempt: task.Attempt,
+					OK: false, Error: "fuzz"}, now)
+				delete(leased, id)
+			}
+		case 4: // time passes; sometimes a worker dies of heartbeat miss
+			now += 30 * time.Millisecond
+			for _, beat := range ids {
+				if beat != id || next(4) != 0 {
+					tb.heartbeat(beat, now)
+				}
+			}
+			tb.sweep(now)
+		}
+		tb.mu.Lock()
+		done := tb.job.finished()
+		tb.mu.Unlock()
+		if done {
+			break
+		}
+	}
+	tb.wal.close() //nolint:errcheck
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzMasterRecovery is the satellite acceptance fuzz: any prefix of a valid
+// journal — a crash can tear it at an arbitrary byte — must replay without
+// error into a table that passes the structural invariant checker.
+func FuzzMasterRecovery(f *testing.F) {
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(2), uint64(37))
+	f.Add(uint64(3), uint64(1<<20))
+	f.Add(uint64(42), uint64(511))
+	f.Fuzz(func(t *testing.T, seed, cut uint64) {
+		data := buildFuzzJournal(t, seed)
+		cut %= uint64(len(data) + 1)
+		path := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, off, err := replayWAL(path)
+		if err != nil {
+			t.Fatalf("seed %d cut %d: replay error: %v", seed, cut, err)
+		}
+		if off > int64(cut) {
+			t.Fatalf("seed %d cut %d: valid offset %d past end of file", seed, cut, off)
+		}
+		tb := newLeaseTable(testTuning(), nil, nil)
+		tb.restore(st)
+		if err := tb.checkInvariants(); err != nil {
+			t.Fatalf("seed %d cut %d: invariants violated: %v", seed, cut, err)
+		}
+		// The torn journal must also be resumable end-to-end: a master
+		// started on it truncates the tear and serves.
+		m, err := StartMaster(MasterOptions{Tuning: testTuning(), JournalPath: path, Resume: true})
+		if err != nil {
+			t.Fatalf("seed %d cut %d: StartMaster: %v", seed, cut, err)
+		}
+		m.Abort()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != off {
+			t.Fatalf("seed %d cut %d: tear not truncated: size %d, want %d", seed, cut, fi.Size(), off)
+		}
+	})
+}

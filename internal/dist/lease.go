@@ -49,6 +49,56 @@ func DefaultTuning() Tuning {
 	}
 }
 
+// InputError reports a Tuning field rejected at the API boundary, mirroring
+// the facade's yafim.Options validation: the caller named a value that can
+// never mean anything, as opposed to the zero values withDefaults fills in.
+type InputError struct {
+	Field  string
+	Reason string
+}
+
+func (e *InputError) Error() string {
+	return fmt.Sprintf("dist: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects nonsensical tunings with a typed *InputError. Zero fields
+// stay legal — they select defaults — but negative durations and budgets,
+// which withDefaults would otherwise silently replace, are refused, as is a
+// heartbeat timeout shorter than the interval workers are told to beat at
+// (every worker would be declared dead between two honest beats).
+func (t Tuning) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"HeartbeatInterval", t.HeartbeatInterval},
+		{"HeartbeatTimeout", t.HeartbeatTimeout},
+		{"LeaseDeadline", t.LeaseDeadline},
+		{"BlacklistBase", t.BlacklistBase},
+	} {
+		if f.v < 0 {
+			return &InputError{Field: "Tuning." + f.name, Reason: "must not be negative"}
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxWorkers", t.MaxWorkers},
+		{"MaxTaskAttempts", t.MaxTaskAttempts},
+		{"BlacklistAfter", t.BlacklistAfter},
+	} {
+		if f.v < 0 {
+			return &InputError{Field: "Tuning." + f.name, Reason: "must not be negative"}
+		}
+	}
+	if t.HeartbeatInterval > 0 && t.HeartbeatTimeout > 0 && t.HeartbeatTimeout < t.HeartbeatInterval {
+		return &InputError{Field: "Tuning.HeartbeatTimeout",
+			Reason: "shorter than HeartbeatInterval; every worker would be declared dead between beats"}
+	}
+	return nil
+}
+
 // withDefaults fills zero fields from DefaultTuning.
 func (t Tuning) withDefaults() Tuning {
 	d := DefaultTuning()
@@ -118,6 +168,12 @@ type distJob struct {
 	reducesDone int
 	failure     error
 	doneCh      chan struct{} // closed once (all reduces done) or failure set
+
+	// suspended marks a job restored from the journal that no driver has
+	// re-attached to yet: its completed work is held, but no lease is
+	// granted until the resumed driver re-submits it (supplying the parts
+	// the journal never holds, notably the distributed-cache blobs).
+	suspended bool
 }
 
 func (j *distJob) finished() bool {
@@ -167,6 +223,14 @@ type leaseTable struct {
 	job     *distJob
 	nextSeq int
 
+	// finished memoizes the outputs of jobs completed before the last master
+	// restart, keyed by name. Populated only by journal replay: within one
+	// master lifetime a re-submitted name re-executes as it always did, but
+	// the resumed deterministic driver re-requesting passes the old
+	// incarnation already finished gets them back instantly.
+	finished map[string]*JobOutput
+
+	wal *wal          // write-ahead journal, nil-safe
 	log *obs.EventLog // nil-safe
 	m   metrics
 }
@@ -179,8 +243,9 @@ func newLeaseTable(cfg Tuning, log *obs.EventLog, reg *obs.Registry) *leaseTable
 			BlacklistAfter: cfg.BlacklistAfter,
 			BlacklistBase:  cfg.BlacklistBase,
 		}),
-		log: log,
-		m:   newMetrics(reg),
+		finished: map[string]*JobOutput{},
+		log:      log,
+		m:        newMetrics(reg),
 	}
 }
 
@@ -190,7 +255,15 @@ var errTooManyWorkers = fmt.Errorf("dist: worker capacity exhausted")
 // register admits a worker and returns its 1-based id. A restarted process
 // registers again and receives a fresh id; ids are never reused, so a
 // zombie holding an old id can always be told apart.
-func (t *leaseTable) register(addr string, now time.Duration) (int, error) {
+//
+// ads re-advertises map outputs the worker still serves from a previous
+// registration. After a master restart every replayed worker is dead, yet
+// the processes themselves may have survived with their output partitions
+// intact; rebinding those outputs to the fresh id spares recomputing them.
+// Each advertisement is honoured only if the done map is currently bound to
+// a dead worker at the same address — the same process re-registering — so
+// a confused or malicious worker cannot steal another's outputs.
+func (t *leaseTable) register(addr string, ads []OutputAd, now time.Duration) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.workers) >= t.cfg.MaxWorkers {
@@ -198,8 +271,29 @@ func (t *leaseTable) register(addr string, now time.Duration) (int, error) {
 	}
 	w := &workerState{id: len(t.workers) + 1, addr: addr, lastBeat: now}
 	t.workers = append(t.workers, w)
+	t.wal.append(walRecord{Rec: recRegister, Worker: w.id, Addr: addr}, false)
 	t.m.liveWorkers.Add(1)
 	t.log.Append(obs.LiveEvent{Event: "worker_register", Worker: w.id, Addr: addr})
+	if t.job != nil && !t.job.finished() {
+		for _, ad := range ads {
+			if ad.Seq != t.job.seq || ad.Map < 0 || ad.Map >= len(t.job.maps) {
+				continue
+			}
+			m := t.job.maps[ad.Map]
+			if m.state != taskDone || m.addr != addr {
+				continue
+			}
+			if old := t.workerLocked(m.worker); old == nil || !old.dead {
+				continue
+			}
+			m.worker = w.id
+			t.wal.append(walRecord{Rec: recMapRebind, Seq: t.job.seq, Phase: PhaseMap,
+				Task: m.index + 1, Worker: w.id, Addr: addr}, false)
+			t.log.Append(obs.LiveEvent{Event: "map_output_rebind", Worker: w.id,
+				Job: t.job.spec.Name, Seq: t.job.seq, Phase: PhaseMap, Task: m.index + 1,
+				Addr: addr})
+		}
+	}
 	return w.id, nil
 }
 
@@ -263,6 +357,7 @@ func (t *leaseTable) markDeadLocked(w *workerState, reason string) {
 	}
 	w.dead = true
 	t.health.MarkDead(w.id - 1)
+	t.wal.append(walRecord{Rec: recWorkerDead, Worker: w.id}, false)
 	t.m.workerDeaths.Add(1)
 	t.m.liveWorkers.Add(-1)
 	t.log.Append(obs.LiveEvent{Event: "worker_dead", Worker: w.id, Addr: w.addr, Detail: reason})
@@ -285,6 +380,8 @@ func (t *leaseTable) markDeadLocked(w *workerState, reason string) {
 			task.worker = 0
 			task.addr = ""
 			t.job.mapsDone--
+			t.wal.append(walRecord{Rec: recMapLost, Seq: t.job.seq, Phase: PhaseMap,
+				Task: task.index + 1}, true)
 			t.m.mapsRecovered.Add(1)
 			t.log.Append(obs.LiveEvent{Event: "map_output_lost", Worker: w.id,
 				Job: t.job.spec.Name, Seq: t.job.seq, Phase: task.phase,
@@ -300,6 +397,7 @@ func (t *leaseTable) strikeLocked(id int, now time.Duration) {
 	if w == nil || w.dead {
 		return
 	}
+	t.wal.append(walRecord{Rec: recStrike, Worker: id}, false)
 	if t.health.RecordFailure(id-1, now) {
 		t.m.blacklists.Add(1)
 		t.log.Append(obs.LiveEvent{Event: "worker_blacklist", Worker: id, Addr: w.addr})
@@ -314,14 +412,30 @@ func (t *leaseTable) failJobIfExhaustedLocked(task *trackedTask) {
 	}
 	t.job.failure = fmt.Errorf("dist: %s task %d failed %d attempts",
 		task.phase, task.index, task.attempts)
+	t.wal.append(walRecord{Rec: recJobFail, Job: t.job.spec.Name,
+		Error: t.job.failure.Error()}, true)
 	close(t.job.doneCh)
 }
 
 // startJob installs the next job's tasks and returns its handle. Exactly
 // one job runs at a time (the mining passes are sequential by nature).
+//
+// When the table holds a suspended job restored from the journal, a
+// re-submission with the same shape adopts it — completed tasks, attempt
+// counts and map-output locations included — instead of starting over; the
+// fresh spec supplies what the journal never held (cache blobs, params). A
+// re-submission with a different shape is a resume mismatch: the operator
+// pointed the master at the wrong journal, and silently discarding the
+// replayed work would hide that.
 func (t *leaseTable) startJob(spec *JobSpec, splits []Split) (*distJob, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.job != nil && t.job.suspended {
+		j, adopted, err := t.adoptLocked(spec, splits)
+		if adopted || err != nil {
+			return j, err
+		}
+	}
 	if t.job != nil && !t.job.finished() {
 		return nil, fmt.Errorf("dist: job %s still running", t.job.spec.Name)
 	}
@@ -334,9 +448,47 @@ func (t *leaseTable) startJob(spec *JobSpec, splits []Split) (*distJob, error) {
 		j.reduces = append(j.reduces, &trackedTask{phase: PhaseReduce, index: i})
 	}
 	t.job = j
+	t.wal.append(walRecord{Rec: recJobStart, Job: spec.Name, Type: spec.Type,
+		InputPath: spec.InputPath, Seq: j.seq, Splits: splits,
+		NumReducers: spec.NumReducers}, true)
 	t.log.Append(obs.LiveEvent{Event: "job_start", Job: spec.Name, Seq: j.seq,
 		Detail: fmt.Sprintf("%d maps, %d reduces", len(j.maps), len(j.reduces))})
 	return j, nil
+}
+
+// adoptLocked matches a re-submitted job against the suspended replayed one.
+// adopted reports whether the suspended job was taken over; on a shape
+// mismatch against an unfinished job it returns the resume-mismatch error,
+// and against a finished one it clears the leftover so startJob proceeds
+// fresh (the finished job's output lives on in the memo table).
+func (t *leaseTable) adoptLocked(spec *JobSpec, splits []Split) (j *distJob, adopted bool, err error) {
+	j = t.job
+	match := j.spec.Name == spec.Name && j.spec.Type == spec.Type &&
+		len(j.maps) == len(splits) && len(j.reduces) == spec.NumReducers
+	if match {
+		for i, s := range splits {
+			if j.maps[i].split != s {
+				match = false
+				break
+			}
+		}
+	}
+	if !match {
+		if !j.finished() {
+			return nil, false, fmt.Errorf(
+				"dist: resume mismatch: journal holds job %s (%d maps, %d reduces), driver submitted %s (%d maps, %d reduces)",
+				j.spec.Name, len(j.maps), len(j.reduces),
+				spec.Name, len(splits), spec.NumReducers)
+		}
+		t.job = nil
+		return nil, false, nil
+	}
+	j.spec = spec
+	j.suspended = false
+	t.log.Append(obs.LiveEvent{Event: "job_adopt", Job: spec.Name, Seq: j.seq,
+		Detail: fmt.Sprintf("%d/%d maps, %d/%d reduces already done",
+			j.mapsDone, len(j.maps), j.reducesDone, len(j.reduces))})
+	return j, true, nil
 }
 
 // lease hands the worker its next task, if any is runnable: map tasks while
@@ -350,13 +502,32 @@ func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bo
 	if w == nil || w.dead {
 		return nil, true
 	}
-	if t.job == nil || t.job.finished() {
+	if t.job == nil || t.job.finished() || t.job.suspended {
+		// A suspended job grants nothing: the resumed driver has not
+		// re-attached yet, so its cache blobs are not servable.
 		return nil, false
 	}
 	if ex := t.health.Excluded(now); ex != nil && ex[id-1] {
 		return nil, false // benched: ask again after the window
 	}
 	j := t.job
+	// A lease request proves this worker is idle — its task loop is serial,
+	// so it only asks when it is executing nothing. A task still recorded as
+	// running under its id is therefore a grant whose response was lost in
+	// transit (the at-least-once edge a lossy network hits routinely): left
+	// alone it would strand until the lease deadline expires. Re-grant it
+	// immediately, same attempt, fresh deadline.
+	for _, task := range append(append([]*trackedTask{}, j.maps...), j.reduces...) {
+		if task.state == taskRunning && task.worker == id {
+			task.leaseExpiry = now + t.cfg.LeaseDeadline
+			t.wal.append(walRecord{Rec: recLease, Seq: j.seq, Phase: task.phase,
+				Task: task.index + 1, Worker: id, Attempt: task.attempts}, false)
+			t.log.Append(obs.LiveEvent{Event: "lease_regrant", Worker: id,
+				Job: j.spec.Name, Seq: j.seq, Phase: task.phase,
+				Task: task.index + 1, Attempt: task.attempts})
+			return t.taskSpecLocked(j, task), false
+		}
+	}
 	var task *trackedTask
 	for _, m := range j.maps {
 		if m.state == taskIdle {
@@ -379,11 +550,17 @@ func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bo
 	task.worker = id
 	task.attempts++
 	task.leaseExpiry = now + t.cfg.LeaseDeadline
+	t.wal.append(walRecord{Rec: recLease, Seq: j.seq, Phase: task.phase,
+		Task: task.index + 1, Worker: id, Attempt: task.attempts}, false)
 	t.m.leaseGrants.Add(1)
 	t.log.Append(obs.LiveEvent{Event: "lease_grant", Worker: id, Job: j.spec.Name,
 		Seq: j.seq, Phase: task.phase, Task: task.index + 1, Attempt: task.attempts})
+	return t.taskSpecLocked(j, task), false
+}
 
-	spec = &TaskSpec{
+// taskSpecLocked builds the wire spec for a leased task under the lock.
+func (t *leaseTable) taskSpecLocked(j *distJob, task *trackedTask) *TaskSpec {
+	spec := &TaskSpec{
 		Job: j.spec.Name, Seq: j.seq, Type: j.spec.Type, Params: j.spec.Params,
 		Phase: task.phase, Index: task.index, Attempt: task.attempts,
 		NumMaps: len(j.maps), NumReducers: len(j.reduces),
@@ -400,7 +577,7 @@ func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bo
 			spec.MapAddrs[i] = m.addr
 		}
 	}
-	return spec, false
+	return spec
 }
 
 // complete ingests one task-attempt report. Every path is idempotent: a
@@ -464,6 +641,8 @@ func (t *leaseTable) complete(req *CompleteRequest, now time.Duration) (accepted
 			m.worker = 0
 			m.addr = ""
 			j.mapsDone--
+			t.wal.append(walRecord{Rec: recMapLost, Seq: j.seq, Phase: PhaseMap,
+				Task: mi + 1}, true)
 			t.m.fetchFailures.Add(1)
 			t.m.mapsRecovered.Add(1)
 			t.log.Append(obs.LiveEvent{Event: "map_output_lost", Worker: req.WorkerID,
@@ -486,9 +665,18 @@ func (t *leaseTable) complete(req *CompleteRequest, now time.Duration) (accepted
 		task.addr = w.addr
 		task.inputRecords = req.InputRecords
 		j.mapsDone++
+		// Synced before the ack: once the worker hears "accepted" it may be
+		// told to discard nothing — but the master must never re-lease work
+		// it acknowledged as done across a crash, or a resumed run could
+		// fetch the same map output from two generations.
+		t.wal.append(walRecord{Rec: recMapDone, Seq: j.seq, Phase: PhaseMap,
+			Task: req.Index + 1, Worker: req.WorkerID, Addr: w.addr,
+			InputRecords: req.InputRecords}, true)
 	} else {
 		task.output = req.Output
 		j.reducesDone++
+		t.wal.append(walRecord{Rec: recReduceDone, Seq: j.seq, Phase: PhaseReduce,
+			Task: req.Index + 1, Worker: req.WorkerID, Output: req.Output}, true)
 		if j.reducesDone == len(j.reduces) && j.failure == nil {
 			close(j.doneCh)
 		}
@@ -532,6 +720,25 @@ func (t *leaseTable) cacheFile(seq int, name string) ([]byte, bool) {
 	}
 	data, ok := t.job.spec.Cache[name]
 	return data, ok
+}
+
+// finishedJob returns the memoized output of a job that completed before
+// the last master restart, if the journal recorded one under this name.
+func (t *leaseTable) finishedJob(name string) (*JobOutput, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out, ok := t.finished[name]
+	return out, ok
+}
+
+// memoizeDone journals a job's completion so a later crash replays it as a
+// memo. It deliberately does not touch the in-memory memo table: within one
+// master lifetime a re-submitted job name re-executes as it always did.
+func (t *leaseTable) memoizeDone(name string, out *JobOutput) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wal.append(walRecord{Rec: recJobDone, Job: name, Output: out.KVs,
+		MapInputRecords: out.MapInputRecords, DurationNS: int64(out.Duration)}, true)
 }
 
 // liveWorkerCount reports workers not declared dead.

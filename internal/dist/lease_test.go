@@ -37,7 +37,7 @@ func testJob(t *testing.T, tb *leaseTable, maps, reduces int) *distJob {
 
 func register(t *testing.T, tb *leaseTable, addr string, now time.Duration) int {
 	t.Helper()
-	id, err := tb.register(addr, now)
+	id, err := tb.register(addr, nil, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,28 +90,33 @@ func drain(t *testing.T, tb *leaseTable, id int, now time.Duration) {
 func TestLeaseMapBarrierThenReduce(t *testing.T) {
 	tb := newLeaseTable(testTuning(), nil, nil)
 	testJob(t, tb, 2, 2)
+	// Concurrent leases need distinct workers: a repeat lease from a worker
+	// already holding a task is a re-grant of that task, never a second one.
 	w := register(t, tb, "a:1", 0)
+	w2 := register(t, tb, "b:2", 0)
+	w3 := register(t, tb, "c:3", 0)
 
 	task1, _ := tb.lease(w, 0)
 	if task1 == nil || task1.Phase != PhaseMap || task1.Attempt != 1 {
 		t.Fatalf("first lease = %+v", task1)
 	}
-	task2, _ := tb.lease(w, 0)
+	task2, _ := tb.lease(w2, 0)
 	if task2 == nil || task2.Phase != PhaseMap {
 		t.Fatalf("second lease = %+v", task2)
 	}
 	// All maps leased, none complete: no reduce may start (its MapAddrs
 	// would be incomplete).
-	if task, _ := tb.lease(w, 0); task != nil {
+	if task, _ := tb.lease(w3, 0); task != nil {
 		t.Fatalf("got %s task before map barrier cleared", task.Phase)
 	}
 	completeOK(tb, w, task1, 0)
-	completeOK(tb, w, task2, 0)
+	completeOK(tb, w2, task2, 0)
 	red, _ := tb.lease(w, 0)
 	if red == nil || red.Phase != PhaseReduce {
 		t.Fatalf("post-barrier lease = %+v", red)
 	}
-	if len(red.MapAddrs) != 2 || red.MapAddrs[0] != "a:1" || red.MapAddrs[1] != "a:1" {
+	if len(red.MapAddrs) != 2 || red.MapAddrs[task1.Index] != "a:1" ||
+		red.MapAddrs[task2.Index] != "b:2" {
 		t.Fatalf("reduce MapAddrs = %v", red.MapAddrs)
 	}
 	completeOK(tb, w, red, 0)
@@ -338,8 +343,8 @@ func TestFetchFailedInvalidatesMapsBeforeReduceRetry(t *testing.T) {
 	w := register(t, tb, "a:1", 0)
 
 	m0, _ := tb.lease(w, 0)
-	m1, _ := tb.lease(w, 0)
 	completeOK(tb, w, m0, 0)
+	m1, _ := tb.lease(w, 0)
 	completeOK(tb, w, m1, 0)
 	red, _ := tb.lease(w, 0)
 	if red == nil || red.Phase != PhaseReduce {
@@ -443,7 +448,7 @@ func FuzzLeaseReassignment(f *testing.F) {
 		ids := []int{}
 		leased := map[int]*TaskSpec{} // live worker id -> last leased task
 		addID := func() {
-			if id, err := tb.register(fmt.Sprintf("w:%d", len(ids)), now); err == nil {
+			if id, err := tb.register(fmt.Sprintf("w:%d", len(ids)), nil, now); err == nil {
 				ids = append(ids, id)
 			}
 		}
@@ -495,7 +500,7 @@ func FuzzLeaseReassignment(f *testing.F) {
 			// Drain with one fresh, healthy worker far in the future: every
 			// blacklist window has passed, so the job must complete.
 			now += 100 * cfg.BlacklistBase
-			id, err := tb.register("drain:1", now)
+			id, err := tb.register("drain:1", nil, now)
 			if err != nil {
 				t.Skip("worker capacity exhausted by fuzz schedule")
 			}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"yafim/internal/obs"
@@ -26,24 +28,87 @@ type Master struct {
 	ln    net.Listener
 	start time.Time
 
+	stopOnce  sync.Once
 	stopSweep chan struct{}
 	sweepDone chan struct{}
 }
 
+// MasterOptions configures StartMaster. The zero value of every field is
+// usable: listen on an ephemeral port, default tuning, no observability, no
+// journal.
+type MasterOptions struct {
+	// Addr is the listen address ("host:port"; empty or ":0" picks a free
+	// port).
+	Addr string
+	// Tuning parameterises the lease protocol; it is validated (typed
+	// *InputError on nonsense) before zero fields select defaults.
+	Tuning Tuning
+	// Log and Reg are the optional observability surfaces.
+	Log *obs.EventLog
+	Reg *obs.Registry
+	// JournalPath, when set, write-ahead journals every lease-table state
+	// transition to this file (JSONL, fsync'd batches) so a crashed master
+	// can be restarted with Resume.
+	JournalPath string
+	// Resume replays JournalPath before serving: the lease table is rebuilt
+	// (workers dead pending re-registration, the in-flight job suspended
+	// pending driver re-attachment, finished jobs memoized), a torn journal
+	// tail is truncated away, and new records append to the same file.
+	Resume bool
+}
+
 // NewMaster starts a master listening on addr ("host:port"; ":0" picks a
 // free port). log and reg may be nil. Close releases the listener and the
-// sweeper.
+// sweeper. Journal-less convenience wrapper around StartMaster.
 func NewMaster(addr string, cfg Tuning, log *obs.EventLog, reg *obs.Registry) (*Master, error) {
-	cfg = cfg.withDefaults()
+	return StartMaster(MasterOptions{Addr: addr, Tuning: cfg, Log: log, Reg: reg})
+}
+
+// StartMaster starts a master. See MasterOptions for the journal and
+// crash-recovery knobs.
+func StartMaster(opts MasterOptions) (*Master, error) {
+	if err := opts.Tuning.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Tuning.withDefaults()
+	table := newLeaseTable(cfg, opts.Log, opts.Reg)
+	if opts.Resume {
+		if opts.JournalPath == "" {
+			return nil, &InputError{Field: "MasterOptions.JournalPath",
+				Reason: "required when Resume is set"}
+		}
+		st, off, err := replayWAL(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		// Drop the torn tail before appending: the next incarnation's
+		// replay must never parse half a record from this one.
+		if err := os.Truncate(opts.JournalPath, off); err != nil {
+			return nil, fmt.Errorf("dist: resume: %w", err)
+		}
+		table.restore(st)
+	}
+	if opts.JournalPath != "" {
+		w, err := openWAL(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		table.wal = w
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = ":0"
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		table.wal.close() //nolint:errcheck
 		return nil, fmt.Errorf("dist: master listen: %w", err)
 	}
 	m := &Master{
 		cfg:       cfg,
-		table:     newLeaseTable(cfg, log, reg),
-		log:       log,
-		reg:       reg,
+		table:     table,
+		log:       opts.Log,
+		reg:       opts.Reg,
 		ln:        ln,
 		start:     time.Now(),
 		stopSweep: make(chan struct{}),
@@ -73,13 +138,27 @@ func (m *Master) URL() string { return "http://" + m.Addr() }
 // table call is fed from.
 func (m *Master) now() time.Duration { return time.Since(m.start) }
 
-// Close shuts the protocol server and the liveness sweeper down.
+// Close shuts the protocol server, the liveness sweeper and the journal
+// down gracefully (the journal is flushed and fsync'd).
 func (m *Master) Close() error {
-	close(m.stopSweep)
+	m.stopOnce.Do(func() { close(m.stopSweep) })
 	<-m.sweepDone
+	m.table.wal.close() //nolint:errcheck // best-effort on shutdown
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	return m.srv.Shutdown(ctx)
+}
+
+// Abort kills the master the way SIGKILL would, for crash-recovery tests:
+// journal records buffered since the last fsync are dropped (not flushed),
+// the listener and all connections slam shut, and nothing is drained. The
+// process-internal goroutines are still reaped so tests stay leak-free —
+// the externally observable state is exactly what a real kill leaves.
+func (m *Master) Abort() {
+	m.table.wal.abort()
+	m.stopOnce.Do(func() { close(m.stopSweep) })
+	<-m.sweepDone
+	m.srv.Close() //nolint:errcheck
 }
 
 // LiveWorkers reports registered workers not declared dead.
@@ -106,6 +185,13 @@ func (m *Master) ExecJob(ctx context.Context, job *JobSpec) (*JobOutput, error) 
 	if _, err := lookupJobType(job.Type); err != nil {
 		return nil, err
 	}
+	if out, ok := m.table.finishedJob(job.Name); ok {
+		// The job completed before the last master restart; the resumed
+		// deterministic driver re-requesting it gets the journaled result
+		// back without re-execution.
+		m.log.Append(obs.LiveEvent{Event: "job_memoized", Job: job.Name})
+		return out, nil
+	}
 	splits, err := splitFile(job.InputPath, job.NumMaps)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s: %w", job.Name, err)
@@ -126,6 +212,7 @@ func (m *Master) ExecJob(ctx context.Context, job *JobSpec) (*JobOutput, error) 
 		return nil, err
 	}
 	out.Duration = time.Since(started)
+	m.table.memoizeDone(job.Name, out)
 	return out, nil
 }
 
@@ -137,6 +224,7 @@ func (t *leaseTable) failJob(j *distJob, err error) {
 		return
 	}
 	j.failure = err
+	t.wal.append(walRecord{Rec: recJobFail, Job: j.spec.Name, Error: err.Error()}, true)
 	close(j.doneCh)
 }
 
@@ -159,7 +247,7 @@ func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := m.table.register(req.Addr, m.now())
+	id, err := m.table.register(req.Addr, req.Outputs, m.now())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

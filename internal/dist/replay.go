@@ -1,0 +1,329 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"yafim/internal/obs"
+)
+
+// Journal replay: rebuilding a master's lease table from its write-ahead
+// journal after a crash. Replay applies the journal's records in order and
+// stops at the first unparseable or unterminated line — a SIGKILL can leave
+// a torn tail, and everything after the tear is treated as never having
+// happened (which the protocol tolerates by construction: see journal.go).
+//
+// The recovered table deliberately distrusts the old world:
+//
+//   - Every replayed worker is marked dead. The master cannot know which
+//     processes survived the outage, so each must re-register through the
+//     rejoin path — re-advertising the map outputs it still serves so they
+//     need not be recomputed (see register).
+//   - The in-flight job, if any, is restored with its completed tasks,
+//     attempt counts and map-output locations, but *suspended*: no lease is
+//     granted until the resumed driver re-submits the job (restoring the
+//     parts the journal never holds, like the distributed-cache blobs).
+//     Tasks that were running when the master died return to idle; their
+//     zombie completions are absorbed by the normal idempotency rules.
+//   - Jobs with a job_done record become memoized results: the resumed
+//     driver's deterministic re-run gets them back instantly instead of
+//     re-executing finished passes.
+
+// resumeState is the journal's reconstruction, ready to install into a
+// fresh lease table.
+type resumeState struct {
+	workers  []*workerState
+	strikes  map[int]int // worker id -> journaled strikes
+	nextSeq  int
+	finished map[string]*JobOutput // completed jobs by name
+	job      *distJob              // in-flight job (suspended), or nil
+	records  int                   // records applied, for the resume event
+}
+
+// replayWAL reads the journal at path and returns the reconstructed state
+// plus the byte offset just past the last fully applied record. Callers
+// resuming into the same file truncate it to that offset before appending,
+// so a torn tail cannot corrupt the next incarnation's records.
+func replayWAL(path string) (*resumeState, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: resume: %w", err)
+	}
+	defer f.Close()
+	st := &resumeState{
+		strikes:  map[int]int{},
+		finished: map[string]*JobOutput{},
+	}
+	br := bufio.NewReaderSize(f, 256<<10)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the final record was torn mid-write.
+			// Everything before it already applied; stop here.
+			return st, off, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("dist: resume: %w", err)
+		}
+		var rec walRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Rec == "" {
+			// A torn write that still got its newline (interleaved crash
+			// timing) parses as garbage; treat it and everything after as
+			// lost, exactly like a missing suffix.
+			return st, off, nil
+		}
+		if aerr := st.apply(&rec); aerr != nil {
+			return nil, 0, fmt.Errorf("dist: resume: offset %d: %w", off, aerr)
+		}
+		off += int64(len(line))
+		st.records++
+	}
+}
+
+// apply folds one journal record into the state. Errors here mean the
+// journal is internally inconsistent (not merely truncated) — a different
+// master's file, or corruption mid-stream — and abort the resume.
+func (st *resumeState) apply(rec *walRecord) error {
+	switch rec.Rec {
+	case recRegister:
+		if rec.Worker != len(st.workers)+1 {
+			return fmt.Errorf("register out of order: worker %d after %d registrations",
+				rec.Worker, len(st.workers))
+		}
+		st.workers = append(st.workers, &workerState{
+			id: rec.Worker, addr: rec.Addr, dead: true,
+		})
+	case recWorkerDead:
+		if w := st.worker(rec.Worker); w != nil {
+			w.dead = true
+		}
+	case recStrike:
+		st.strikes[rec.Worker]++
+	case recJobStart:
+		if st.job != nil {
+			return fmt.Errorf("job %q started while %q in flight", rec.Job, st.job.spec.Name)
+		}
+		j := &distJob{
+			spec: &JobSpec{
+				Name: rec.Job, Type: rec.Type, InputPath: rec.InputPath,
+				NumMaps: len(rec.Splits), NumReducers: rec.NumReducers,
+			},
+			seq:       rec.Seq,
+			suspended: true,
+			doneCh:    make(chan struct{}),
+		}
+		for i, s := range rec.Splits {
+			j.maps = append(j.maps, &trackedTask{phase: PhaseMap, index: i, split: s})
+		}
+		for i := 0; i < rec.NumReducers; i++ {
+			j.reduces = append(j.reduces, &trackedTask{phase: PhaseReduce, index: i})
+		}
+		st.job = j
+		if rec.Seq > st.nextSeq {
+			st.nextSeq = rec.Seq
+		}
+	case recLease:
+		task := st.task(rec)
+		if task == nil {
+			return nil // stale lease record for a finished job: ignore
+		}
+		// Attempts are a budget, and replay restores the budget spent; the
+		// running state itself is NOT restored — the lease's worker is dead
+		// to the new master, so the task returns to the idle pool.
+		if rec.Attempt > task.attempts {
+			task.attempts = rec.Attempt
+		}
+	case recMapDone:
+		task := st.task(rec)
+		if task == nil {
+			return nil
+		}
+		if task.state != taskDone {
+			task.state = taskDone
+			st.job.mapsDone++
+		}
+		task.worker = rec.Worker
+		task.addr = rec.Addr
+		task.inputRecords = rec.InputRecords
+	case recMapRebind:
+		task := st.task(rec)
+		if task == nil || task.state != taskDone {
+			return nil
+		}
+		task.worker = rec.Worker
+		task.addr = rec.Addr
+	case recMapLost:
+		task := st.task(rec)
+		if task == nil || task.state != taskDone {
+			return nil
+		}
+		task.state = taskIdle
+		task.worker = 0
+		task.addr = ""
+		st.job.mapsDone--
+	case recReduceDone:
+		task := st.task(rec)
+		if task == nil {
+			return nil
+		}
+		if task.state != taskDone {
+			task.state = taskDone
+			st.job.reducesDone++
+		}
+		task.worker = rec.Worker
+		task.output = rec.Output
+	case recJobDone:
+		st.finished[rec.Job] = &JobOutput{
+			KVs:             rec.Output,
+			MapInputRecords: rec.MapInputRecords,
+			Duration:        durationFromNS(rec.DurationNS),
+		}
+		st.job = nil
+	case recJobFail:
+		// A failed (or driver-canceled) job holds nothing worth restoring;
+		// the resumed driver re-submits it from scratch.
+		st.job = nil
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Rec)
+	}
+	return nil
+}
+
+// worker resolves a replayed worker id, nil when out of range.
+func (st *resumeState) worker(id int) *workerState {
+	if id < 1 || id > len(st.workers) {
+		return nil
+	}
+	return st.workers[id-1]
+}
+
+// task resolves a task record against the in-flight job, nil when the
+// record is stale (no job, wrong seq, bad index).
+func (st *resumeState) task(rec *walRecord) *trackedTask {
+	if st.job == nil || rec.Seq != st.job.seq {
+		return nil
+	}
+	idx := rec.Task - 1
+	switch rec.Phase {
+	case PhaseMap:
+		if idx >= 0 && idx < len(st.job.maps) {
+			return st.job.maps[idx]
+		}
+	case PhaseReduce:
+		if idx >= 0 && idx < len(st.job.reduces) {
+			return st.job.reduces[idx]
+		}
+	}
+	return nil
+}
+
+// restore installs a replayed journal's reconstruction into the table. It
+// runs once, before the master serves its first request. All replayed
+// workers arrive dead (apply marks them so) and are additionally marked in
+// the health bookkeeping; their journaled strikes are re-charged so a flaky
+// worker's blacklist history survives the restart with its id.
+func (t *leaseTable) restore(st *resumeState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.workers = st.workers
+	for _, w := range t.workers {
+		t.health.MarkDead(w.id - 1)
+	}
+	for id, n := range st.strikes {
+		for i := 0; i < n; i++ {
+			t.health.RecordFailure(id-1, 0)
+		}
+	}
+	t.nextSeq = st.nextSeq
+	t.finished = st.finished
+	t.job = st.job
+	if t.job != nil && t.job.finished() {
+		// Every reduce completed but the job_done record was lost with the
+		// crash: the job is whole, just unclaimed. Close the done channel so
+		// the adopting driver returns immediately with the replayed outputs.
+		close(t.job.doneCh)
+	}
+	detail := fmt.Sprintf("%d records, %d workers, %d finished jobs",
+		st.records, len(st.workers), len(st.finished))
+	if t.job != nil {
+		detail += fmt.Sprintf(", job %s suspended (%d/%d maps, %d/%d reduces done)",
+			t.job.spec.Name, t.job.mapsDone, len(t.job.maps),
+			t.job.reducesDone, len(t.job.reduces))
+	}
+	t.log.Append(obs.LiveEvent{Event: "master_resume", Detail: detail})
+}
+
+// checkInvariants verifies the structural invariants the lease table must
+// hold after any replay (the fuzz target drives this over journals torn at
+// arbitrary byte offsets). It is also safe on a live table under the lock.
+func (t *leaseTable) checkInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, w := range t.workers {
+		if w.id != i+1 {
+			return fmt.Errorf("worker slot %d holds id %d", i, w.id)
+		}
+	}
+	j := t.job
+	if j == nil {
+		return nil
+	}
+	if j.seq > t.nextSeq {
+		return fmt.Errorf("job seq %d exceeds nextSeq %d", j.seq, t.nextSeq)
+	}
+	mapsDone, reducesDone := 0, 0
+	for _, task := range append(append([]*trackedTask{}, j.maps...), j.reduces...) {
+		if task.attempts > t.cfg.MaxTaskAttempts {
+			return fmt.Errorf("%s task %d holds %d attempts, budget %d",
+				task.phase, task.index, task.attempts, t.cfg.MaxTaskAttempts)
+		}
+		switch task.state {
+		case taskDone:
+			if task.phase == PhaseMap {
+				mapsDone++
+				if task.addr == "" {
+					return fmt.Errorf("done map %d has no serving address", task.index)
+				}
+			} else {
+				reducesDone++
+			}
+			if task.worker < 1 || task.worker > len(t.workers) {
+				return fmt.Errorf("done %s task %d attributed to unknown worker %d",
+					task.phase, task.index, task.worker)
+			}
+		case taskRunning:
+			if j.suspended {
+				return fmt.Errorf("%s task %d running in a suspended job", task.phase, task.index)
+			}
+			if w := t.workerLocked(task.worker); w == nil || w.dead {
+				return fmt.Errorf("%s task %d leased to dead or unknown worker %d",
+					task.phase, task.index, task.worker)
+			}
+		case taskIdle:
+			if task.worker != 0 {
+				return fmt.Errorf("idle %s task %d still owned by worker %d",
+					task.phase, task.index, task.worker)
+			}
+		}
+	}
+	if mapsDone != j.mapsDone {
+		return fmt.Errorf("mapsDone %d, but %d maps are done", j.mapsDone, mapsDone)
+	}
+	if reducesDone != j.reducesDone {
+		return fmt.Errorf("reducesDone %d, but %d reduces are done", j.reducesDone, reducesDone)
+	}
+	doneClosed := false
+	select {
+	case <-j.doneCh:
+		doneClosed = true
+	default:
+	}
+	if finished := j.failure != nil || j.reducesDone == len(j.reduces); finished != doneClosed {
+		return fmt.Errorf("job finished=%v but doneCh closed=%v", finished, doneClosed)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -34,6 +35,15 @@ type WorkerOptions struct {
 	// FetchRetries is the per-target retry budget (default 5) before a map
 	// output is reported unfetchable.
 	FetchRetries int
+	// FetchBudget bounds one reduce task's whole map-output fetch fan-in in
+	// wall-clock time (default 30s): a partitioned peer must surface as
+	// FetchFailed within bounded time, never as an indefinitely retrying
+	// reduce. Layered as a context deadline over the per-target backoff.
+	FetchBudget time.Duration
+	// Transport, when non-nil, replaces the HTTP transport under every
+	// client call — master RPC and map-output fetches alike. This is the
+	// ChaosTransport injection point.
+	Transport http.RoundTripper
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -45,6 +55,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	}
 	if o.FetchRetries <= 0 {
 		o.FetchRetries = 5
+	}
+	if o.FetchBudget <= 0 {
+		o.FetchBudget = 30 * time.Second
 	}
 	return o
 }
@@ -64,13 +77,23 @@ type worker struct {
 	client *http.Client
 	log    *obs.EventLog
 
-	id   int
 	addr string // own map-output serving address
-	hbMs int64
 
 	mu      sync.Mutex
+	id      int                           // current registration; changes on rejoin (see reregister)
+	hbMs    int64                         // master-assigned heartbeat cadence
 	outputs map[outputKey][]partitionData // completed map outputs by task
 	caches  map[string][]byte             // fetched cache blobs by seq\xffname
+}
+
+// workerID returns the current registration's id. Re-registration (after a
+// master restart or a declared death) assigns a fresh one, and the
+// heartbeat and lease loops can both trigger it, so reads go through the
+// lock.
+func (w *worker) workerID() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
 }
 
 // RunWorker runs a worker until ctx is done: register with the master,
@@ -82,7 +105,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	opts = opts.withDefaults()
 	w := &worker{
 		opts:    opts,
-		client:  &http.Client{Timeout: 30 * time.Second},
+		client:  &http.Client{Timeout: 30 * time.Second, Transport: opts.Transport},
 		log:     opts.Log,
 		outputs: map[outputKey][]partitionData{},
 		caches:  map[string][]byte{},
@@ -107,10 +130,26 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		srv.Shutdown(sctx) //nolint:errcheck
 	}()
 
-	if err := w.register(ctx); err != nil {
-		return err
+	// The worker may start before the master, or while it is restarting
+	// after a crash: keep trying to register until the context is canceled.
+	// A master that is reachable and refuses (capacity exhausted) is fatal.
+	for {
+		err := w.register(ctx)
+		if err == nil {
+			break
+		}
+		if exec.IsCancellation(err) {
+			return nil
+		}
+		var se *statusError
+		if errors.As(err, &se) {
+			return err
+		}
+		if err := w.opts.Fetch.Sleep(ctx, 3); err != nil {
+			return nil
+		}
 	}
-	w.log.Append(obs.LiveEvent{Event: "worker_start", Worker: w.id, Addr: w.addr})
+	w.log.Append(obs.LiveEvent{Event: "worker_start", Worker: w.workerID(), Addr: w.addr})
 
 	hbCtx, stopHb := context.WithCancel(ctx)
 	hbDone := make(chan struct{})
@@ -126,6 +165,18 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	return w.leaseLoop(ctx)
 }
 
+// statusError is a non-200 master reply: the master was reachable and said
+// no, as opposed to a transport failure worth retrying forever.
+type statusError struct {
+	path   string
+	status string
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("dist: %s: %s: %s", e.path, e.status, e.msg)
+}
+
 // postJSON posts req and decodes the response into resp, retrying transport
 // errors on the worker's backoff (a master briefly unreachable during
 // startup must not kill the worker).
@@ -134,13 +185,7 @@ func (w *worker) postJSON(ctx context.Context, path string, req, resp any) error
 	if err != nil {
 		return err
 	}
-	var last error
-	for attempt := 0; attempt <= w.opts.FetchRetries; attempt++ {
-		if attempt > 0 {
-			if err := w.opts.Fetch.Sleep(ctx, attempt-1); err != nil {
-				return err
-			}
-		}
+	err = exec.Retry(ctx, w.opts.Fetch, w.opts.FetchRetries, func() error {
 		hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			w.opts.MasterURL+path, bytes.NewReader(body))
 		if err != nil {
@@ -149,57 +194,99 @@ func (w *worker) postJSON(ctx context.Context, path string, req, resp any) error
 		hr.Header.Set("Content-Type", "application/json")
 		res, err := w.client.Do(hr)
 		if err != nil {
-			last = err
-			continue
+			return err
 		}
 		if res.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
 			res.Body.Close()
-			last = fmt.Errorf("dist: %s: %s: %s", path, res.Status, bytes.TrimSpace(msg))
-			continue
+			return &statusError{path: path, status: res.Status,
+				msg: string(bytes.TrimSpace(msg))}
 		}
 		err = json.NewDecoder(res.Body).Decode(resp)
 		res.Body.Close()
-		if err != nil {
-			last = err
-			continue
-		}
-		return nil
-	}
-	return fmt.Errorf("dist: %s: retries exhausted: %w", path, last)
-}
-
-// register announces the worker and adopts the master's heartbeat cadence.
-func (w *worker) register(ctx context.Context) error {
-	var resp RegisterResponse
-	if err := w.postJSON(ctx, "/dist/register", RegisterRequest{Addr: w.addr}, &resp); err != nil {
+		return err
+	})
+	if err == nil || exec.IsCancellation(err) {
 		return err
 	}
-	w.id = resp.WorkerID
-	w.hbMs = resp.HeartbeatMs
-	if w.hbMs <= 0 {
-		w.hbMs = DefaultTuning().HeartbeatInterval.Milliseconds()
+	return fmt.Errorf("dist: %s: retries exhausted: %w", path, err)
+}
+
+// register announces the worker and adopts the master's heartbeat cadence,
+// re-advertising every map output it still serves: a worker that outlives a
+// master restart (or its own declared death) hands the new master back the
+// partitions it would otherwise recompute.
+func (w *worker) register(ctx context.Context) error {
+	req := RegisterRequest{Addr: w.addr, Outputs: w.outputAds()}
+	var resp RegisterResponse
+	if err := w.postJSON(ctx, "/dist/register", req, &resp); err != nil {
+		return err
 	}
+	hbMs := resp.HeartbeatMs
+	if hbMs <= 0 {
+		hbMs = DefaultTuning().HeartbeatInterval.Milliseconds()
+	}
+	w.mu.Lock()
+	w.id = resp.WorkerID
+	w.hbMs = hbMs
+	w.mu.Unlock()
+	return nil
+}
+
+// outputAds lists the map outputs this worker serves, in deterministic
+// order, for (re-)registration.
+func (w *worker) outputAds() []OutputAd {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ads := make([]OutputAd, 0, len(w.outputs))
+	for k := range w.outputs {
+		ads = append(ads, OutputAd{Seq: k.seq, Map: k.mapIndex})
+	}
+	sort.Slice(ads, func(i, j int) bool {
+		if ads[i].Seq != ads[j].Seq {
+			return ads[i].Seq < ads[j].Seq
+		}
+		return ads[i].Map < ads[j].Map
+	})
+	return ads
+}
+
+// reregister re-runs registration after the master answered Rejoin to the
+// id seenID. The heartbeat loop, the lease loop and a completion report can
+// all notice a master restart near-simultaneously; the generation check
+// collapses their Rejoin signals into one re-registration instead of
+// burning three worker ids.
+func (w *worker) reregister(ctx context.Context, seenID int) error {
+	if w.workerID() != seenID {
+		return nil // another loop already re-registered
+	}
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.log.Append(obs.LiveEvent{Event: "worker_rejoin", Worker: w.workerID(), Addr: w.addr})
 	return nil
 }
 
 // heartbeatLoop beats on the master's cadence until canceled, re-registering
-// when the master stops recognising the worker.
+// when the master stops recognising the worker. An unreachable master is
+// not fatal here: the loop keeps beating, and the Rejoin it receives once
+// the master is back (restarted masters know nobody) repairs registration.
 func (w *worker) heartbeatLoop(ctx context.Context) {
-	t := time.NewTicker(time.Duration(w.hbMs) * time.Millisecond)
+	w.mu.Lock()
+	hbMs := w.hbMs
+	w.mu.Unlock()
+	t := time.NewTicker(time.Duration(hbMs) * time.Millisecond)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			id := w.workerID()
 			var resp HeartbeatResponse
-			err := w.postJSON(ctx, "/dist/heartbeat", HeartbeatRequest{WorkerID: w.id}, &resp)
+			err := w.postJSON(ctx, "/dist/heartbeat", HeartbeatRequest{WorkerID: id}, &resp)
 			if err == nil && resp.Rejoin {
-				if err := w.register(ctx); err != nil {
-					return
-				}
-				w.log.Append(obs.LiveEvent{Event: "worker_rejoin", Worker: w.id, Addr: w.addr})
+				w.reregister(ctx, id) //nolint:errcheck // retried next beat
 			}
 		}
 	}
@@ -208,22 +295,40 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 // leaseLoop pulls and executes tasks until the context is done. A task
 // already running when cancellation arrives completes and is reported —
 // the graceful SIGTERM drain.
+//
+// An unreachable master does not end the loop: the worker is the durable
+// party during a master crash (it holds computed map outputs), so it keeps
+// polling with backoff until the restarted master answers — with Rejoin,
+// upon which the worker re-registers and re-advertises those outputs. Only
+// cancellation or a master that refuses registration outright ends a worker.
 func (w *worker) leaseLoop(ctx context.Context) error {
 	for {
 		if err := exec.ContextErr(ctx); err != nil {
-			w.log.Append(obs.LiveEvent{Event: "worker_drain", Worker: w.id})
+			w.log.Append(obs.LiveEvent{Event: "worker_drain", Worker: w.workerID()})
 			return nil // drained: cancellation is the normal exit
 		}
+		id := w.workerID()
 		var resp LeaseResponse
-		if err := w.postJSON(ctx, "/dist/lease", LeaseRequest{WorkerID: w.id}, &resp); err != nil {
+		if err := w.postJSON(ctx, "/dist/lease", LeaseRequest{WorkerID: id}, &resp); err != nil {
 			if exec.IsCancellation(err) {
 				return nil
 			}
-			return err
+			w.log.Append(obs.LiveEvent{Event: "master_unreachable", Worker: id,
+				Detail: err.Error()})
+			if err := w.opts.Fetch.Sleep(ctx, 3); err != nil {
+				return nil
+			}
+			continue
 		}
 		if resp.Rejoin {
-			if err := w.register(ctx); err != nil {
-				return err
+			if err := w.reregister(ctx, id); err != nil {
+				if exec.IsCancellation(err) {
+					return nil
+				}
+				var se *statusError
+				if errors.As(err, &se) {
+					return err // reachable master refused us: fatal
+				}
 			}
 			continue
 		}
@@ -245,10 +350,10 @@ func (w *worker) leaseLoop(ctx context.Context) error {
 // runTask executes one leased task and reports its completion. Failures are
 // reported, not returned: the master decides retry policy.
 func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
-	w.log.Append(obs.LiveEvent{Event: "task_start", Worker: w.id, Job: task.Job,
+	w.log.Append(obs.LiveEvent{Event: "task_start", Worker: w.workerID(), Job: task.Job,
 		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
 	req := &CompleteRequest{
-		WorkerID: w.id, Seq: task.Seq,
+		WorkerID: w.workerID(), Seq: task.Seq,
 		Phase: task.Phase, Index: task.Index, Attempt: task.Attempt,
 	}
 	var err error
@@ -265,21 +370,38 @@ func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
 	req.OK = err == nil
 	if err != nil {
 		req.Error = err.Error()
-		w.log.Append(obs.LiveEvent{Event: "task_error", Worker: w.id, Job: task.Job,
+		w.log.Append(obs.LiveEvent{Event: "task_error", Worker: req.WorkerID, Job: task.Job,
 			Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1,
 			Attempt: task.Attempt, Detail: err.Error()})
 	}
 	var resp CompleteResponse
 	// Completion reporting uses a context that survives the drain: a result
 	// computed before SIGTERM still reaches the master.
-	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 20*time.Second)
 	defer cancel()
-	if err := w.postJSON(rctx, "/dist/complete", req, &resp); err != nil {
-		w.log.Append(obs.LiveEvent{Event: "complete_lost", Worker: w.id, Job: task.Job,
-			Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Detail: err.Error()})
-		return
+	for try := 0; try < 2; try++ {
+		req.WorkerID = w.workerID()
+		if err := w.postJSON(rctx, "/dist/complete", req, &resp); err != nil {
+			w.log.Append(obs.LiveEvent{Event: "complete_lost", Worker: req.WorkerID,
+				Job: task.Job, Seq: task.Seq, Phase: task.Phase,
+				Task: task.Index + 1, Detail: err.Error()})
+			return
+		}
+		if !resp.Rejoin {
+			break
+		}
+		// The master no longer knows this id: it restarted, or declared the
+		// worker dead while the task ran. Re-register (re-advertising the
+		// outputs still served here) and resend once under the fresh id —
+		// idempotent on the master, where the first valid result wins.
+		if err := w.reregister(rctx, req.WorkerID); err != nil {
+			w.log.Append(obs.LiveEvent{Event: "complete_lost", Worker: req.WorkerID,
+				Job: task.Job, Seq: task.Seq, Phase: task.Phase,
+				Task: task.Index + 1, Detail: err.Error()})
+			return
+		}
 	}
-	w.log.Append(obs.LiveEvent{Event: "task_reported", Worker: w.id, Job: task.Job,
+	w.log.Append(obs.LiveEvent{Event: "task_reported", Worker: req.WorkerID, Job: task.Job,
 		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
 }
 
@@ -313,36 +435,31 @@ func (w *worker) cacheFiles(ctx context.Context, task *TaskSpec) (mapreduce.Cach
 
 // fetchURL GETs a URL with the worker's retry backoff.
 func (w *worker) fetchURL(ctx context.Context, url string) ([]byte, error) {
-	var last error
-	for attempt := 0; attempt <= w.opts.FetchRetries; attempt++ {
-		if attempt > 0 {
-			if err := w.opts.Fetch.Sleep(ctx, attempt-1); err != nil {
-				return nil, err
-			}
-		}
+	var data []byte
+	err := exec.Retry(ctx, w.opts.Fetch, w.opts.FetchRetries, func() error {
 		hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := w.client.Do(hr)
 		if err != nil {
-			last = err
-			continue
+			return err
 		}
 		if res.StatusCode != http.StatusOK {
 			res.Body.Close()
-			last = fmt.Errorf("%s: %s", url, res.Status)
-			continue
+			return fmt.Errorf("%s: %s", url, res.Status)
 		}
-		data, err := io.ReadAll(res.Body)
+		data, err = io.ReadAll(res.Body)
 		res.Body.Close()
-		if err != nil {
-			last = err
-			continue
+		return err
+	})
+	if err != nil {
+		if exec.IsCancellation(err) {
+			return nil, err
 		}
-		return data, nil
+		return nil, fmt.Errorf("dist: fetch retries exhausted: %w", err)
 	}
-	return nil, fmt.Errorf("dist: fetch retries exhausted: %w", last)
+	return data, nil
 }
 
 // runMap executes one map task: read the split with the sim reader's
@@ -425,17 +542,37 @@ func (w *worker) runReduce(ctx context.Context, task *TaskSpec) ([]KV, []int, er
 	if err != nil {
 		return nil, nil, err
 	}
+	// The whole fetch fan-in runs under one wall-clock budget, layered over
+	// the per-target backoff: a partitioned peer (reachable to TCP but never
+	// answering, or a link the chaos transport cut indefinitely) must
+	// surface as FetchFailed in bounded time, not as a reduce that retries
+	// forever. Budget expiry is distinguished from a genuine drain by the
+	// outer context: if ctx itself is live, the deadline was ours.
+	fctx, cancelFetch := context.WithTimeout(ctx, w.opts.FetchBudget)
+	defer cancelFetch()
 	merged := map[string][]string{}
 	var failed []int
 	for mi, addr := range task.MapAddrs {
 		u := fmt.Sprintf("http://%s/dist/output?seq=%d&map=%d&part=%d",
 			addr, task.Seq, mi, task.Index)
-		data, err := w.fetchURL(ctx, u)
+		data, err := w.fetchURL(fctx, u)
 		if err != nil {
-			if exec.IsCancellation(err) {
-				return nil, nil, err
+			if exec.ContextErr(ctx) != nil {
+				return nil, nil, err // worker draining, not a fetch verdict
 			}
-			w.log.Append(obs.LiveEvent{Event: "fetch_failed", Worker: w.id,
+			if fctx.Err() != nil {
+				// Budget spent. Report the map that starved as unfetchable
+				// and fail the attempt; maps not yet tried are left alone
+				// (they may be perfectly healthy) for the retried attempt.
+				failed = append(failed, mi)
+				w.log.Append(obs.LiveEvent{Event: "fetch_budget_exhausted",
+					Worker: w.workerID(), Job: task.Job, Seq: task.Seq,
+					Phase: PhaseReduce, Task: task.Index + 1,
+					Detail: fmt.Sprintf("budget %v spent at map %d of %d (%s)",
+						w.opts.FetchBudget, mi, len(task.MapAddrs), addr)})
+				break
+			}
+			w.log.Append(obs.LiveEvent{Event: "fetch_failed", Worker: w.workerID(),
 				Job: task.Job, Seq: task.Seq, Phase: PhaseReduce,
 				Task: task.Index + 1, Detail: fmt.Sprintf("map %d at %s: %v", mi, addr, err)})
 			failed = append(failed, mi)

@@ -119,6 +119,30 @@ func (b Backoff) Sleep(ctx context.Context, attempt int) error {
 	}
 }
 
+// Retry runs op up to retries+1 times, sleeping the backoff delay before
+// each retry, and returns nil on the first success. Cancellation (of ctx,
+// observed while sleeping) aborts immediately with the sentinel-wrapped
+// context error; otherwise the last failure is returned. It is the one
+// retry loop shared by the distributed workers' RPC, cache and map-output
+// fetch paths, so a wall-clock budget can be layered on top with a single
+// context deadline instead of per-site timeout arithmetic.
+func Retry(ctx context.Context, b Backoff, retries int, op func() error) error {
+	var last error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			if err := b.Sleep(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
+		if err := op(); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+
 // hashUnit maps (seed, attempt) to a deterministic uniform value in [0, 1),
 // the same FNV-1a construction the chaos plan uses for fault decisions.
 func hashUnit(seed int64, attempt int) float64 {
