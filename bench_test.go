@@ -24,6 +24,7 @@ import (
 	"yafim/internal/mrapriori"
 	"yafim/internal/obs"
 	"yafim/internal/rdd"
+	"yafim/internal/rddeclat"
 	"yafim/internal/trie"
 	"yafim/internal/yafim"
 )
@@ -405,6 +406,83 @@ func BenchmarkPass2MRApriori(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		trace, _, err := experiments.RunMRApriori(context.Background(), db, bm.Support,
 			env.Hadoop, tasks, mrapriori.Config{}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = trace.TotalDuration().Seconds()
+	}
+	b.ReportMetric(virt, "virt-sec")
+}
+
+// BenchmarkPass2KernelEclatBitset measures the vertical counting kernel on
+// the same candidate-heavy workload: one transaction bitset per frequent
+// item (dense ItemIndex ids), pass-2 support by fused word-at-a-time
+// AND+popcount over every item pair — the representation RDD-Eclat swaps in
+// for the hash tree's subset enumeration.
+func BenchmarkPass2KernelEclatBitset(b *testing.B) {
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, benchEnv().Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l1, err := apriori.Mine(db, bm.Support, apriori.Options{MaxK: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var items []itemset.Itemset
+	for _, sc := range l1.Levels[0].Sets {
+		items = append(items, sc.Set)
+	}
+	ix := itemset.NewItemIndex(items)
+	m := ix.Len()
+	bits := make([]*itemset.Bitset, m)
+	for d := range bits {
+		bits[d] = itemset.NewBitset(db.Len())
+	}
+	for ti, tr := range db.Transactions {
+		for _, it := range tr.Items {
+			if d := ix.DenseOf(it); d >= 0 {
+				bits[d].Set(ti)
+			}
+		}
+	}
+	minCount := db.MinSupportCount(bm.Support)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frequent int
+	for i := 0; i < b.N; i++ {
+		frequent = 0
+		for x := 0; x < m; x++ {
+			for y := x + 1; y < m; y++ {
+				if bits[x].AndCount(bits[y]) >= minCount {
+					frequent++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(m*(m-1)/2), "cands")
+	b.ReportMetric(float64(frequent), "frequent")
+}
+
+// BenchmarkPass2RDDEclat runs the full RDD-Eclat pipeline on the
+// candidate-heavy dataset — vertical shuffle, broadcast bitsets,
+// equivalence-class intersection — and reports simulated cluster seconds
+// next to the real allocation rate, the vertical row of the engine matrix
+// beside BenchmarkPass2YAFIM and BenchmarkPass2MRApriori.
+func BenchmarkPass2RDDEclat(b *testing.B) {
+	env := benchEnv()
+	bm := mustBenchmark(b, "T10I4D100K")
+	db, err := bm.Gen(0.05, env.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 2 * env.Spark.TotalCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		trace, _, err := experiments.RunRDDEclat(context.Background(), db, bm.Support,
+			env.Spark, tasks, rddeclat.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -53,7 +53,7 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, ablations, check, obs, chaos, diag, or all")
+		exp       = flag.String("exp", "all", "table1, fig3, fig4, fig5, fig6, summary, variants, matrix, ablations, check, obs, chaos, diag, or all")
 		ds        = flag.String("dataset", "", "restrict fig3/fig4/fig5 to one dataset")
 		scale     = flag.Float64("scale", 1.0, "dataset scale (1.0 = paper size)")
 		seed      = flag.Int64("seed", 2014, "data generation seed")
@@ -258,6 +258,31 @@ func run(ctx context.Context) error {
 				return err
 			}
 			experiments.WriteVariants(os.Stdout, v)
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := run("matrix", func() error {
+		// The engine matrix defaults to the candidate-heavy synthetic
+		// benchmark, where the horizontal/vertical representation choice
+		// matters most; -dataset widens it.
+		matrixBenches := benches
+		if *ds == "" {
+			heavy, err := experiments.FindBenchmark("T10I4D100K")
+			if err != nil {
+				return err
+			}
+			matrixBenches = []experiments.Benchmark{heavy}
+		}
+		for _, b := range matrixBenches {
+			m, err := experiments.RunMatrix(ctx, b, env, experiments.MatrixSupports(b))
+			if err != nil {
+				return err
+			}
+			experiments.WriteMatrix(os.Stdout, m)
 			fmt.Println()
 		}
 		return nil

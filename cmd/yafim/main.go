@@ -126,7 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var f cliFlags
 	fs.StringVar(&f.input, "input", "", "transaction file in .dat format (required)")
 	fs.Float64Var(&f.support, "support", 0.01, "relative minimum support in (0,1]")
-	fs.StringVar(&f.engine, "engine", "yafim", "engine: yafim, mapreduce, sequential, eclat, fpgrowth, son, dhp, partition, toivonen, disteclat, aprioritid")
+	fs.StringVar(&f.engine, "engine", "yafim", "engine: yafim, mapreduce, sequential, eclat, fpgrowth, son, dhp, partition, toivonen, disteclat, aprioritid, rddeclat")
 	fs.StringVar(&f.mode, "mode", "all", "itemsets to report: all, closed, maximal")
 	fs.IntVar(&f.maxK, "maxk", 0, "stop after frequent itemsets of this size (0 = unbounded)")
 	fs.IntVar(&f.nodes, "nodes", 0, "override simulated node count for parallel engines")

@@ -1,10 +1,10 @@
 // Enginecompare races every mining engine in the repository on the same
 // dataset: the two parallel algorithms from the paper's world (YAFIM on the
-// Spark-substitute, MRApriori on the Hadoop-substitute), the one-phase SON
-// and Dist-Eclat distributed algorithms, and the sequential family
-// (Apriori, DHP, Partition, Toivonen, Eclat, FP-Growth). All must return
-// identical itemsets; the interesting part is how differently they get
-// there.
+// Spark-substitute, MRApriori on the Hadoop-substitute), the one-phase SON,
+// Dist-Eclat and RDD-Eclat distributed algorithms, and the sequential
+// family (Apriori, DHP, Partition, Toivonen, Eclat, FP-Growth). All must
+// return identical itemsets; the interesting part is how differently they
+// get there.
 package main
 
 import (
@@ -24,7 +24,8 @@ func main() {
 		st.NumTransactions, st.NumItems)
 
 	engines := []yafim.Engine{
-		yafim.EngineYAFIM, yafim.EngineDistEclat, yafim.EngineMapReduce, yafim.EngineSON,
+		yafim.EngineYAFIM, yafim.EngineDistEclat, yafim.EngineRDDEclat,
+		yafim.EngineMapReduce, yafim.EngineSON,
 		yafim.EngineSequential, yafim.EngineDHP, yafim.EngineAprioriTid,
 		yafim.EnginePartition, yafim.EngineToivonen, yafim.EngineEclat, yafim.EngineFPGrowth,
 	}
@@ -42,7 +43,8 @@ func main() {
 		}
 		notes := ""
 		switch e {
-		case yafim.EngineYAFIM, yafim.EngineMapReduce, yafim.EngineSON, yafim.EngineDistEclat:
+		case yafim.EngineYAFIM, yafim.EngineMapReduce, yafim.EngineSON,
+			yafim.EngineDistEclat, yafim.EngineRDDEclat:
 			notes = "simulated 12-node cluster time"
 		default:
 			notes = "real single-core time"

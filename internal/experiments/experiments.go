@@ -25,6 +25,7 @@ import (
 	"yafim/internal/mrapriori"
 	"yafim/internal/obs"
 	"yafim/internal/rdd"
+	"yafim/internal/rddeclat"
 	"yafim/internal/yafim"
 )
 
@@ -145,6 +146,32 @@ func RunDistEclat(goCtx context.Context, db *itemset.DB, support float64, cfg cl
 		MinSupport:    support,
 		NumPartitions: tasks,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace, ctx, nil
+}
+
+// RunRDDEclat stages db into a fresh DFS and mines it with the
+// equivalence-class-partitioned bitset Eclat engine on the given cluster.
+// Pass rdd.WithRecorder to capture telemetry.
+func RunRDDEclat(goCtx context.Context, db *itemset.DB, support float64, cfg cluster.Config, tasks int,
+	mineCfg rddeclat.Config, opts ...rdd.Option) (*apriori.Trace, *rdd.Context, error) {
+	fs := dfs.New(cfg.Nodes)
+	path := stagePath(db.Name)
+	if _, err := dataset.Stage(fs, path, db); err != nil {
+		return nil, nil, err
+	}
+	ctx, err := rdd.NewContext(cfg, append([]rdd.Option{rdd.WithContext(goCtx)}, opts...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs.SetRecorder(ctx.Recorder())
+	mineCfg.MinSupport = support
+	if mineCfg.NumPartitions == 0 {
+		mineCfg.NumPartitions = tasks
+	}
+	trace, err := rddeclat.Mine(ctx, fs, path, mineCfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"yafim/internal/apriori"
+	"yafim/internal/mrapriori"
+	"yafim/internal/rddeclat"
+	"yafim/internal/yafim"
+)
+
+// MatrixCell is one engine × support measurement of the engine matrix: the
+// algorithm-representation comparison the ROADMAP grows the paper's
+// two-engine result into. PeakShuffle is -1 for engines that materialise
+// map output to the DFS instead of holding it shuffle-resident.
+type MatrixCell struct {
+	Engine      string
+	Support     float64
+	Duration    time.Duration
+	Jobs        int
+	PeakShuffle int64
+	Frequent    int
+}
+
+// Matrix is the engine comparison for one benchmark across support levels.
+type Matrix struct {
+	Dataset string
+	Cells   []MatrixCell
+}
+
+// RunMatrix mines the benchmark with every first-class engine — YAFIM
+// (horizontal, hash tree), MRApriori (horizontal, MapReduce) and RDD-Eclat
+// (vertical, bitsets) — at each support level, verifies all of them find
+// identical frequent itemsets, and reports the virtual-cost profile of each
+// cell.
+func RunMatrix(ctx context.Context, b Benchmark, env Env, supports []float64) (*Matrix, error) {
+	db, err := b.Gen(env.Scale, env.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &Matrix{Dataset: b.Name}
+	for _, sup := range supports {
+		var reference *apriori.Result
+		add := func(engine string, res *apriori.Result, d time.Duration, jobs int, peak int64) error {
+			if reference == nil {
+				reference = res
+			} else if !res.Equal(reference) {
+				return fmt.Errorf("experiments: matrix %s: %s disagrees at sup=%v", b.Name, engine, sup)
+			}
+			out.Cells = append(out.Cells, MatrixCell{
+				Engine: engine, Support: sup, Duration: d, Jobs: jobs,
+				PeakShuffle: peak, Frequent: res.NumFrequent(),
+			})
+			return nil
+		}
+
+		yTrace, yCtx, err := RunYAFIM(ctx, db, sup, env.Spark, env.tasks(env.Spark), yafim.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: matrix %s: yafim: %w", b.Name, err)
+		}
+		if err := add("YAFIM", yTrace.Result, yTrace.TotalDuration(),
+			len(yCtx.Reports()), yCtx.ShufflePeakBytes()); err != nil {
+			return nil, err
+		}
+
+		rTrace, rCtx, err := RunRDDEclat(ctx, db, sup, env.Spark, env.tasks(env.Spark), rddeclat.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: matrix %s: rddeclat: %w", b.Name, err)
+		}
+		if err := add("RDD-Eclat", rTrace.Result, rTrace.TotalDuration(),
+			len(rCtx.Reports()), rCtx.ShufflePeakBytes()); err != nil {
+			return nil, err
+		}
+
+		mTrace, mRunner, err := RunMRApriori(ctx, db, sup, env.Hadoop, env.tasks(env.Hadoop),
+			mrapriori.Config{}, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: matrix %s: mrapriori: %w", b.Name, err)
+		}
+		if err := add("MRApriori", mTrace.Result, mTrace.TotalDuration(),
+			len(mRunner.Reports()), -1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MatrixSupports returns the two minsup levels a benchmark's matrix runs
+// at: the paper threshold and its double (a sparser lattice, shifting the
+// balance from counting work toward fixed job overheads).
+func MatrixSupports(b Benchmark) []float64 {
+	return []float64{b.Support, 2 * b.Support}
+}
+
+// WriteMatrix renders the engine matrix.
+func WriteMatrix(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "%s: engine matrix (algorithm × representation)\n", m.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tminsup\tvirt total\tjobs\tpeak shuffle\tfrequent")
+	for _, c := range m.Cells {
+		peak := "-"
+		if c.PeakShuffle >= 0 {
+			peak = fmt.Sprintf("%d B", c.PeakShuffle)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%s\t%d\t%s\t%d\n",
+			c.Engine, c.Support, fmtDur(c.Duration), c.Jobs, peak, c.Frequent)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestMatrix runs the engine matrix on the candidate-heavy benchmark at two
+// support levels: every engine must agree at every level, the RDD engines
+// must report a shuffle-residency peak, and MRApriori (which spills map
+// output to the DFS) must report none.
+func TestMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment test")
+	}
+	env := testEnv()
+	b, err := FindBenchmark("T10I4D100K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	supports := MatrixSupports(b)
+	if len(supports) != 2 {
+		t.Fatalf("supports = %v, want two levels", supports)
+	}
+	m, err := RunMatrix(context.Background(), b, env, supports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 6 {
+		t.Fatalf("cells = %d, want 3 engines x 2 supports", len(m.Cells))
+	}
+	for _, c := range m.Cells {
+		if c.Duration <= 0 || c.Jobs == 0 {
+			t.Errorf("%s@%v: empty cost profile %+v", c.Engine, c.Support, c)
+		}
+		switch c.Engine {
+		case "MRApriori":
+			if c.PeakShuffle != -1 {
+				t.Errorf("MRApriori reported shuffle residency %d", c.PeakShuffle)
+			}
+		default:
+			if c.PeakShuffle <= 0 {
+				t.Errorf("%s@%v: no shuffle residency peak", c.Engine, c.Support)
+			}
+		}
+	}
+	// The doubled support level mines a sparser lattice.
+	if m.Cells[0].Frequent <= m.Cells[3].Frequent {
+		t.Errorf("paper support found %d itemsets, doubled support %d — want strictly more",
+			m.Cells[0].Frequent, m.Cells[3].Frequent)
+	}
+	var sb strings.Builder
+	WriteMatrix(&sb, m)
+	out := sb.String()
+	for _, want := range []string{"YAFIM", "RDD-Eclat", "MRApriori", "peak shuffle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q", want)
+		}
+	}
+}

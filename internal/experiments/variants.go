@@ -15,6 +15,7 @@ import (
 	"yafim/internal/mapreduce"
 	"yafim/internal/mrapriori"
 	"yafim/internal/obs"
+	"yafim/internal/rddeclat"
 	"yafim/internal/son"
 	"yafim/internal/yafim"
 )
@@ -74,6 +75,16 @@ func RunVariants(ctx context.Context, b Benchmark, env Env) (*Variants, error) {
 		return nil, fmt.Errorf("experiments: variants %s: disteclat: %w", b.Name, err)
 	}
 	if err := check("Dist-Eclat", dTrace.Result, len(dCtx.Reports()), dTrace.TotalDuration()); err != nil {
+		return nil, err
+	}
+
+	// RDD-Eclat on the Spark profile: equivalence-class-partitioned bitset
+	// intersection.
+	rTrace, rCtx, err := RunRDDEclat(ctx, db, b.Support, env.Spark, env.tasks(env.Spark), rddeclat.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: variants %s: rddeclat: %w", b.Name, err)
+	}
+	if err := check("RDD-Eclat", rTrace.Result, len(rCtx.Reports()), rTrace.TotalDuration()); err != nil {
 		return nil, err
 	}
 

@@ -21,6 +21,11 @@ func NewBitset(n int) *Bitset {
 // Len returns the bitset's capacity in bits.
 func (b *Bitset) Len() int { return b.n }
 
+// Words returns the number of 64-bit words backing the bitset — the unit
+// the vertical mining kernels charge to the cost model, since every
+// intersection touches each word exactly once.
+func (b *Bitset) Words() int { return len(b.words) }
+
 // Set sets bit i. It panics when i is out of range, matching slice
 // semantics.
 func (b *Bitset) Set(i int) {
@@ -63,6 +68,23 @@ func (b *Bitset) AndInto(a, other *Bitset) *Bitset {
 func (b *Bitset) And(other *Bitset) *Bitset {
 	out := NewBitset(b.n)
 	return out.AndInto(b, other)
+}
+
+// AndCountInto stores a AND other into b (which must have the same
+// capacity) and returns the popcount of the result — the fused
+// intersect-and-support kernel of vertical bitset mining: one pass over the
+// words yields both the child tidset and its support count.
+func (b *Bitset) AndCountInto(a, other *Bitset) int {
+	if a.n != other.n || b.n != a.n {
+		panic("itemset: bitset size mismatch")
+	}
+	total := 0
+	for i := range b.words {
+		w := a.words[i] & other.words[i]
+		b.words[i] = w
+		total += bits.OnesCount64(w)
+	}
+	return total
 }
 
 // AndCount returns the popcount of b AND other without allocating.

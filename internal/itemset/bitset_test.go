@@ -57,6 +57,18 @@ func TestBitsetAndOperations(t *testing.T) {
 	if got := a.AndCount(b); got != want {
 		t.Fatalf("AndCount = %d, want %d", got, want)
 	}
+	fused := NewBitset(100)
+	if got := fused.AndCountInto(a, b); got != want {
+		t.Fatalf("AndCountInto = %d, want %d", got, want)
+	}
+	for i := 0; i < 100; i++ {
+		if fused.Get(i) != and.Get(i) {
+			t.Fatalf("AndCountInto bit %d = %v, And bit = %v", i, fused.Get(i), and.Get(i))
+		}
+	}
+	if a.Words() != 2 || NewBitset(0).Words() != 0 {
+		t.Fatalf("Words = %d (want 2 for 100 bits)", a.Words())
+	}
 	c := a.Clone()
 	c.Set(1)
 	if a.Get(1) {

@@ -38,6 +38,7 @@ import (
 	"yafim/internal/mrapriori"
 	"yafim/internal/obs"
 	"yafim/internal/rdd"
+	"yafim/internal/rddeclat"
 	"yafim/internal/rules"
 	"yafim/internal/yafim"
 )
@@ -258,6 +259,9 @@ const (
 	// EngineAprioriTid is Agrawal & Srikant's AprioriTid: after pass one the
 	// raw data is never re-scanned; transactions carry candidate encodings.
 	EngineAprioriTid
+	// EngineRDDEclat is RDD-Eclat on the RDD engine: equivalence-class-
+	// partitioned Eclat with dense word-at-a-time bitset tidlist kernels.
+	EngineRDDEclat
 )
 
 func (e Engine) String() string {
@@ -284,6 +288,8 @@ func (e Engine) String() string {
 		return "disteclat"
 	case EngineAprioriTid:
 		return "aprioritid"
+	case EngineRDDEclat:
+		return "rddeclat"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -293,7 +299,7 @@ func (e Engine) String() string {
 func ParseEngine(name string) (Engine, error) {
 	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential,
 		EngineEclat, EngineFPGrowth, EngineSON, EngineDHP, EnginePartition,
-		EngineToivonen, EngineDistEclat, EngineAprioriTid} {
+		EngineToivonen, EngineDistEclat, EngineAprioriTid, EngineRDDEclat} {
 		if e.String() == name {
 			return e, nil
 		}
@@ -317,7 +323,8 @@ type Options struct {
 	// engines ignore it.
 	Recorder *Recorder
 	// Chaos, when non-nil, injects the seeded fault plan into the parallel
-	// engines (yafim, mapreduce, disteclat); mining results are unaffected —
+	// engines (yafim, mapreduce, disteclat, rddeclat); mining results are
+	// unaffected —
 	// only the virtual timeline shows the faults and their mitigation.
 	// Sequential engines ignore it.
 	Chaos *ChaosPlan
@@ -426,6 +433,11 @@ func MineContext(ctx context.Context, db *DB, minSupport float64, opts Options) 
 		return trace, err
 	case EngineAprioriTid:
 		return timed(ctx, func() (*Result, error) { return apriori.MineAprioriTid(db, minSupport) })
+	case EngineRDDEclat:
+		cfg := clusterOrDefault(opts.Cluster, cluster.PaperSpark)
+		trace, _, err := experiments.RunRDDEclat(ctx, db, minSupport, cfg, tasks(opts, cfg),
+			rddeclat.Config{MaxK: opts.MaxK}, rddOptions(opts)...)
+		return trace, err
 	default:
 		return nil, fmt.Errorf("yafim: unknown engine %v", opts.Engine)
 	}

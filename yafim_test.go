@@ -22,7 +22,7 @@ func TestAllEnginesAgree(t *testing.T) {
 	local := ClusterLocal()
 	engines := []Engine{EngineYAFIM, EngineMapReduce, EngineSequential, EngineEclat,
 		EngineFPGrowth, EngineSON, EngineDHP, EnginePartition, EngineToivonen,
-		EngineDistEclat, EngineAprioriTid}
+		EngineDistEclat, EngineAprioriTid, EngineRDDEclat}
 	var first *Result
 	for _, e := range engines {
 		trace, err := Mine(db, 2.0/9.0, Options{Engine: e, Cluster: &local})
@@ -57,7 +57,7 @@ func TestMineDefaultsToPaperCluster(t *testing.T) {
 
 func TestMineMaxK(t *testing.T) {
 	local := ClusterLocal()
-	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential} {
+	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential, EngineRDDEclat} {
 		trace, err := Mine(exampleDB(), 2.0/9.0, Options{Engine: e, Cluster: &local, MaxK: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", e, err)
@@ -77,7 +77,7 @@ func TestMineUnknownEngine(t *testing.T) {
 func TestParseEngine(t *testing.T) {
 	for _, e := range []Engine{EngineYAFIM, EngineMapReduce, EngineSequential, EngineEclat,
 		EngineFPGrowth, EngineSON, EngineDHP, EnginePartition, EngineToivonen,
-		EngineDistEclat, EngineAprioriTid} {
+		EngineDistEclat, EngineAprioriTid, EngineRDDEclat} {
 		got, err := ParseEngine(e.String())
 		if err != nil || got != e {
 			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
