@@ -36,10 +36,17 @@
 // that journal after a crash — surviving workers reconnect on their own (see
 // README "Surviving a master restart"). A worker joins the given master and
 // drains gracefully on SIGTERM; -dist-chaos seeds a network-fault transport
-// (drops, delays, duplicates) under every call the worker makes. Smoke mode
-// forks its own workers, SIGKILLs one mid-run (disable with
-// -dist-kill=false), and verifies the surviving run's itemsets are
-// byte-identical to the in-memory sim oracle.
+// (drops, delays, duplicates) under every call the worker makes. Each worker
+// keeps the decoded input splits in an in-memory block cache
+// (-dist-cache-bytes budgets it, delivered from the master at registration)
+// so the k-pass mining job reads the input from disk once per worker, not
+// once per pass; the master's /metrics exports the cache counters
+// (dist_input_reads_total, dist_input_cache_{hits,misses,evictions}_total,
+// dist_input_cache_bytes). Smoke mode forks its own workers, SIGKILLs one
+// mid-run (disable with -dist-kill=false), verifies the surviving run's
+// itemsets are byte-identical to the in-memory sim oracle, and asserts the
+// once-per-worker read invariant from those counters, dumping them to
+// cache-metrics.prom next to the worker logs.
 //
 // Runs are interruptible: -timeout bounds the real (wall-clock) time of the
 // mining run, and Ctrl-C (SIGINT) or SIGTERM cancels it at the next task
@@ -61,6 +68,8 @@ import (
 	osexec "os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -113,6 +122,7 @@ type cliFlags struct {
 	distWAL     string
 	distResume  bool
 	distChaos   int64
+	distCacheB  int64
 
 	supportSet bool
 }
@@ -150,6 +160,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&f.distWAL, "dist-wal", "", "write-ahead journal file for the master's lease table (-dist master/smoke); enables crash recovery")
 	fs.BoolVar(&f.distResume, "dist-resume", false, "replay -dist-wal before serving (-dist master): resume a crashed master's state")
 	fs.Int64Var(&f.distChaos, "dist-chaos", 0, "seed a network-fault transport (drops, delays, duplicates) into workers; 0 disables")
+	fs.Int64Var(&f.distCacheB, "dist-cache-bytes", 0, "per-worker input block cache budget in bytes (-dist master/smoke; 0 = default 256 MiB, negative rejected)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -530,8 +541,12 @@ func runDistMaster(ctx context.Context, f cliFlags, stdout, stderr io.Writer) er
 	if f.distResume && f.distWAL == "" {
 		return fmt.Errorf("-dist-resume requires -dist-wal")
 	}
+	tuning := yafim.DefaultDistTuning()
+	if f.distCacheB != 0 {
+		tuning.InputCacheBytes = f.distCacheB
+	}
 	master, err := yafim.StartDistMaster(yafim.DistMasterOptions{
-		Addr: f.distAddr, Tuning: yafim.DefaultDistTuning(),
+		Addr: f.distAddr, Tuning: tuning,
 		Log: log, Reg: yafim.NewMetricsRegistry(),
 		JournalPath: f.distWAL, Resume: f.distResume,
 	})
@@ -644,6 +659,7 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  time.Second,
 		LeaseDeadline:     60 * time.Second,
+		InputCacheBytes:   f.distCacheB,
 	}
 	wal := f.distWAL
 	if wal == "" {
@@ -759,6 +775,9 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 		return fmt.Errorf("dist-smoke: PARITY FAILED — distributed itemsets diverge from the sim oracle (%d vs %d frequent; logs under %s)",
 			trace.Result.NumFrequent(), oracle.Result.NumFrequent(), logsDir)
 	}
+	if err := verifyCacheCounters(master.URL(), logsDir, log, len(trace.Passes), f.distCacheB, stderr); err != nil {
+		return err
+	}
 	killNote := "no worker killed"
 	if f.distKill {
 		select {
@@ -777,4 +796,81 @@ func runDistSmoke(ctx context.Context, f cliFlags, stdout, stderr io.Writer) err
 		support*100, trace.Result.NumFrequent(), trace.Result.MaxK(),
 		trace.TotalDuration().Round(1e6))
 	return nil
+}
+
+// verifyCacheCounters fetches the master's /metrics after a smoke run, saves
+// the dump next to the worker logs (CI uploads it on failure), and asserts
+// the block-cache invariant the tentpole fix exists for: with caching on at
+// default budget, the input is parsed from disk at most once per worker
+// incarnation per split — never once per pass — and any multi-pass run must
+// have been served hits from the cache. cacheBytes is the -dist-cache-bytes
+// override; a non-default budget can legitimately evict, so only the dump is
+// written then.
+func verifyCacheCounters(masterURL, logsDir string, log *yafim.LiveLog,
+	passes int, cacheBytes int64, stderr io.Writer) error {
+	res, err := http.Get(masterURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("dist-smoke: fetch /metrics: %w", err)
+	}
+	dump, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return fmt.Errorf("dist-smoke: read /metrics: %w", err)
+	}
+	dumpPath := filepath.Join(logsDir, "cache-metrics.prom")
+	if err := os.WriteFile(dumpPath, dump, 0o644); err != nil {
+		return err
+	}
+
+	// One registration = one worker incarnation = one cold cache; one
+	// job_start Detail names the split count. Both come from the live
+	// protocol journal the smoke run already keeps.
+	registrations, maxMaps := 0, 0
+	for _, ev := range log.Events() {
+		switch ev.Event {
+		case "worker_register":
+			registrations++
+		case "job_start":
+			var m, r int
+			if _, err := fmt.Sscanf(ev.Detail, "%d maps, %d reduces", &m, &r); err == nil && m > maxMaps {
+				maxMaps = m
+			}
+		}
+	}
+	reads, ok := metricValue(string(dump), "dist_input_reads_total")
+	if !ok {
+		return fmt.Errorf("dist-smoke: dist_input_reads_total missing from /metrics (dump: %s)", dumpPath)
+	}
+	hits, _ := metricValue(string(dump), "dist_input_cache_hits_total")
+	if cacheBytes != 0 {
+		fmt.Fprintf(stderr, "yafim: cache counters recorded (custom budget, invariant not asserted): %v reads, %v hits (dump: %s)\n",
+			reads, hits, dumpPath)
+		return nil
+	}
+	if limit := float64(registrations * maxMaps); reads > limit || registrations == 0 || maxMaps == 0 {
+		return fmt.Errorf("dist-smoke: CACHE INVARIANT FAILED — %v disk reads across %d worker registration(s) x %d splits (limit %v): the input was re-read across passes (dump: %s)",
+			reads, registrations, maxMaps, registrations*maxMaps, dumpPath)
+	}
+	if passes >= 2 && hits <= 0 {
+		return fmt.Errorf("dist-smoke: CACHE INVARIANT FAILED — %d passes ran with zero block-cache hits (dump: %s)",
+			passes, dumpPath)
+	}
+	fmt.Fprintf(stderr, "yafim: cache counters OK — %v disk reads (<= %d registrations x %d splits), %v hits over %d passes (dump: %s)\n",
+		reads, registrations, maxMaps, hits, passes, dumpPath)
+	return nil
+}
+
+// metricValue extracts an un-labelled metric's value from a Prometheus text
+// dump.
+func metricValue(dump, name string) (float64, bool) {
+	for _, line := range strings.Split(dump, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }

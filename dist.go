@@ -23,7 +23,9 @@ type (
 	// plus live observability endpoints over HTTP.
 	DistMaster = dist.Master
 	// DistTuning sets the protocol timing knobs (heartbeat interval and
-	// timeout, lease deadline, attempt budget, blacklist windows).
+	// timeout, lease deadline, attempt budget, blacklist windows) and the
+	// per-worker input block cache budget (InputCacheBytes; 0 means the
+	// 256 MiB default, negative is rejected).
 	DistTuning = dist.Tuning
 	// DistWorkerOptions configures one worker process.
 	DistWorkerOptions = dist.WorkerOptions

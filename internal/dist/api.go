@@ -133,24 +133,60 @@ type OutputAd struct {
 	Map int `json:"map"`
 }
 
+// CacheStats is a worker's cumulative input-block-cache counters, reported
+// on every heartbeat and completion. Values are monotonic within one worker
+// incarnation; the master folds the per-report deltas into its /metrics
+// counters, so a fresh incarnation (which re-registers and re-baselines)
+// never double-counts.
+type CacheStats struct {
+	// Seq orders reports from one incarnation: register, heartbeat and
+	// complete all carry cache state, and HTTP gives no ordering across
+	// them, so the master drops any report whose Seq is not newer than the
+	// last one ingested — a heartbeat built before a map finished must not
+	// clobber the completion's fresher inventory. Zero means "unordered"
+	// (accepted unconditionally; the unit-test entry point).
+	Seq int64 `json:"seq,omitempty"`
+	// Reads counts splits parsed from disk (cache misses that hit the file).
+	Reads int64 `json:"reads,omitempty"`
+	// Hits and Misses count cache lookups.
+	Hits   int64 `json:"hits,omitempty"`
+	Misses int64 `json:"misses,omitempty"`
+	// Evictions counts blocks dropped to stay under the byte budget.
+	Evictions int64 `json:"evictions,omitempty"`
+	// Bytes is the resident decoded-block footprint right now.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
 // RegisterRequest announces a worker to the master. Addr is the worker's
 // reachable HTTP address for map-output fetches. Outputs re-advertises map
-// outputs still served from a previous incarnation, if any.
+// outputs still served from a previous incarnation, if any; Cached likewise
+// re-advertises the input blocks already decoded in its cache, so a rejoining
+// worker regains its placement preference immediately.
 type RegisterRequest struct {
 	Addr    string     `json:"addr"`
 	Outputs []OutputAd `json:"outputs,omitempty"`
+	Cached  []Split    `json:"cached,omitempty"`
+	Cache   CacheStats `json:"cache,omitempty"`
 }
 
-// RegisterResponse assigns the worker its id and the heartbeat cadence the
-// liveness monitor expects.
+// RegisterResponse assigns the worker its id, the heartbeat cadence the
+// liveness monitor expects, and the input-block-cache byte budget
+// (Tuning.InputCacheBytes — the master owns the knob so every worker runs
+// the same policy).
 type RegisterResponse struct {
-	WorkerID    int   `json:"worker_id"`
-	HeartbeatMs int64 `json:"heartbeat_ms"`
+	WorkerID        int   `json:"worker_id"`
+	HeartbeatMs     int64 `json:"heartbeat_ms"`
+	InputCacheBytes int64 `json:"input_cache_bytes,omitempty"`
 }
 
-// HeartbeatRequest is the worker's periodic liveness signal.
+// HeartbeatRequest is the worker's periodic liveness signal. Cached is the
+// worker's current input-block inventory — each report replaces the master's
+// view wholesale, so evictions propagate as silently as insertions — and
+// Cache its cumulative cache counters.
 type HeartbeatRequest struct {
-	WorkerID int `json:"worker_id"`
+	WorkerID int        `json:"worker_id"`
+	Cached   []Split    `json:"cached,omitempty"`
+	Cache    CacheStats `json:"cache,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat. Rejoin tells a worker the
@@ -195,6 +231,12 @@ type CompleteRequest struct {
 	// Output is the reduce task's full output (reduce successes). Small
 	// by construction for the mining jobs — reducers emit aggregates.
 	Output []KV `json:"output,omitempty"`
+	// Cached and Cache piggyback the worker's input-block inventory and
+	// cumulative cache counters on the completion, exactly as on a
+	// heartbeat: a map task that just decoded a split advertises it before
+	// the next pass's leases are cut, not one heartbeat later.
+	Cached []Split    `json:"cached,omitempty"`
+	Cache  CacheStats `json:"cache,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Duplicate completions (a

@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// blockSplits writes content and cuts it into n splits for cache tests.
+func blockSplits(t *testing.T, content string, n int) []Split {
+	t.Helper()
+	path := writeInput(t, content)
+	splits, err := splitFile(path, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return splits
+}
+
+func TestBlockCacheHitOnSecondRead(t *testing.T) {
+	splits := blockSplits(t, "a\nbb\nccc\ndddd\n", 2)
+	c := newBlockCache(1 << 20)
+
+	first, err := c.get(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.get(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached read diverges: %v vs %v", first, second)
+	}
+	st := c.snapshot()
+	if st.Reads != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 read, 1 miss, 1 hit", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("resident bytes = %d after insert", st.Bytes)
+	}
+}
+
+func TestBlockCacheInvalidatedWhenFileChanges(t *testing.T) {
+	splits := blockSplits(t, "old-one\nold-two\n", 1)
+	c := newBlockCache(1 << 20)
+	if _, err := c.get(splits[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the input in place with different bytes (and a different size,
+	// so the identity check cannot be defeated by filesystem mtime
+	// granularity). The same split range must now miss and serve the new
+	// contents, never the stale block.
+	if err := os.WriteFile(splits[0].Path, []byte("new-1\nnew-2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.get(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || lines[0].text != "new-1" {
+		t.Fatalf("stale block served after rewrite: %v", lines)
+	}
+	st := c.snapshot()
+	if st.Reads != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 reads and 2 misses after rewrite", st)
+	}
+}
+
+func TestBlockCacheEvictsLRUUnderBudget(t *testing.T) {
+	// Two separate one-line inputs, each decoding to a ~92-byte block
+	// (60 text bytes + per-line overhead); a 150-byte budget holds exactly
+	// one at a time.
+	a := blockSplits(t, strings.Repeat("x", 59)+"\n", 1)[0]
+	b := blockSplits(t, strings.Repeat("y", 59)+"\n", 1)[0]
+	c := newBlockCache(150)
+
+	if _, err := c.get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(b); err != nil {
+		t.Fatal(err)
+	}
+	st := c.snapshot()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (budget holds one block)", st.Evictions)
+	}
+	if st.Bytes > 150 {
+		t.Fatalf("resident %d bytes exceeds 150-byte budget", st.Bytes)
+	}
+	// Block a was evicted: touching it again reads from disk.
+	if _, err := c.get(a); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.snapshot(); st.Reads != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 3 reads and 0 hits after LRU eviction", st)
+	}
+}
+
+func TestBlockCacheOversizedBlockServedUncached(t *testing.T) {
+	splits := blockSplits(t, strings.Repeat("w", 500)+"\n", 1)
+	c := newBlockCache(64) // smaller than the block's decoded cost
+
+	for i := 0; i < 2; i++ {
+		lines, err := c.get(splits[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lines) != 1 {
+			t.Fatalf("read %d: %d lines", i, len(lines))
+		}
+	}
+	st := c.snapshot()
+	if st.Reads != 2 || st.Hits != 0 || st.Bytes != 0 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v: an oversized block must bypass the cache "+
+			"without evicting anything", st)
+	}
+	if len(c.ads()) != 0 {
+		t.Fatalf("uncached block advertised: %v", c.ads())
+	}
+}
+
+func TestBlockCacheSetBudgetShrinkEvicts(t *testing.T) {
+	c := newBlockCache(1 << 20)
+	var splits []Split
+	for i := 0; i < 4; i++ {
+		splits = append(splits, blockSplits(t, strings.Repeat("z", 10)+"\n", 1)[0])
+	}
+	for _, s := range splits {
+		if _, err := c.get(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(c.ads()); n != 4 {
+		t.Fatalf("%d blocks resident, want 4", n)
+	}
+	c.setBudget(1) // shrink below any block: everything must go
+	st := c.snapshot()
+	if st.Bytes != 0 || len(c.ads()) != 0 {
+		t.Fatalf("resident %d bytes, ads %v after shrink to 1", st.Bytes, c.ads())
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+}
+
+func TestBlockCacheAdsSortedDeterministically(t *testing.T) {
+	splits := blockSplits(t, strings.Repeat("line\n", 20), 5)
+	c := newBlockCache(1 << 20)
+	// Touch in scrambled order; ads must come back path-then-offset sorted.
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		if _, err := c.get(splits[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ads := c.ads()
+	if !reflect.DeepEqual(ads, splits) {
+		t.Fatalf("ads = %v, want sorted %v", ads, splits)
+	}
+}
+
+func TestBlockCacheReportSeqMonotonic(t *testing.T) {
+	c := newBlockCache(1 << 20)
+	_, s1 := c.report()
+	_, s2 := c.report()
+	if s1.Seq == 0 || s2.Seq <= s1.Seq {
+		t.Fatalf("report seqs %d, %d: must be nonzero and strictly increasing",
+			s1.Seq, s2.Seq)
+	}
+	if st := c.snapshot(); st.Seq != s2.Seq {
+		t.Fatalf("snapshot seq %d advanced past last report %d", st.Seq, s2.Seq)
+	}
+}
+
+func TestNilBlockCacheFallsThrough(t *testing.T) {
+	splits := blockSplits(t, "one\ntwo\n", 1)
+	var c *blockCache
+	lines, err := c.get(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("nil cache read %d lines, want 2", len(lines))
+	}
+	if ads := c.ads(); ads != nil {
+		t.Fatalf("nil cache ads = %v", ads)
+	}
+	if st := c.snapshot(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	if a, st := c.report(); a != nil || st != (CacheStats{}) {
+		t.Fatalf("nil cache report = %v, %+v", a, st)
+	}
+	c.setBudget(100) // must not panic
+}
+
+func TestTuningRejectsNegativeInputCacheBytes(t *testing.T) {
+	cfg := DefaultTuning()
+	cfg.InputCacheBytes = -1
+	err := cfg.Validate()
+	var ie *InputError
+	if err == nil {
+		t.Fatal("negative InputCacheBytes accepted")
+	}
+	if !errors.As(err, &ie) || ie.Field != "Tuning.InputCacheBytes" {
+		t.Fatalf("error = %v, want InputError on Tuning.InputCacheBytes", err)
+	}
+}
+
+func TestTuningDefaultsInputCacheBytes(t *testing.T) {
+	var cfg Tuning
+	got := cfg.withDefaults().InputCacheBytes
+	if got != DefaultTuning().InputCacheBytes || got <= 0 {
+		t.Fatalf("defaulted InputCacheBytes = %d", got)
+	}
+	keep := Tuning{InputCacheBytes: 12345}.withDefaults()
+	if keep.InputCacheBytes != 12345 {
+		t.Fatalf("explicit budget overwritten: %d", keep.InputCacheBytes)
+	}
+}

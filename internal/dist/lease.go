@@ -34,6 +34,11 @@ type Tuning struct {
 	BlacklistAfter int
 	// BlacklistBase is the first blacklist window.
 	BlacklistBase time.Duration
+	// InputCacheBytes is each worker's budget for its decoded input-block
+	// cache (the runtime's RDD-persistence analogue: splits parsed once per
+	// job, later passes served from memory). Delivered to workers at
+	// registration; zero selects the default, negative is rejected.
+	InputCacheBytes int64
 }
 
 // DefaultTuning returns the production-shaped defaults; tests shrink them.
@@ -46,6 +51,7 @@ func DefaultTuning() Tuning {
 		MaxTaskAttempts:   8,
 		BlacklistAfter:    3,
 		BlacklistBase:     5 * time.Second,
+		InputCacheBytes:   256 << 20,
 	}
 }
 
@@ -92,6 +98,9 @@ func (t Tuning) Validate() error {
 			return &InputError{Field: "Tuning." + f.name, Reason: "must not be negative"}
 		}
 	}
+	if t.InputCacheBytes < 0 {
+		return &InputError{Field: "Tuning.InputCacheBytes", Reason: "must not be negative"}
+	}
 	if t.HeartbeatInterval > 0 && t.HeartbeatTimeout > 0 && t.HeartbeatTimeout < t.HeartbeatInterval {
 		return &InputError{Field: "Tuning.HeartbeatTimeout",
 			Reason: "shorter than HeartbeatInterval; every worker would be declared dead between beats"}
@@ -123,6 +132,9 @@ func (t Tuning) withDefaults() Tuning {
 	if t.BlacklistBase <= 0 {
 		t.BlacklistBase = d.BlacklistBase
 	}
+	if t.InputCacheBytes <= 0 {
+		t.InputCacheBytes = d.InputCacheBytes
+	}
 	return t
 }
 
@@ -145,6 +157,14 @@ type trackedTask struct {
 	leaseExpiry time.Duration // valid while running
 	attempts    int           // leases granted so far
 
+	// deferUntil implements the locality grace window (maps only): the
+	// first time a worker that does NOT cache this split asks for it while
+	// some other live worker does, the grant is deferred until this
+	// deadline so the caching worker — idle workers poll at heartbeat
+	// cadence — can claim its own block. Past the deadline anyone gets it:
+	// the preference can cost at most one bounded wait, never a stall.
+	deferUntil time.Duration
+
 	addr         string // map: producer's serving address once done
 	inputRecords int64  // map: reported input record count
 	output       []KV   // reduce: reported output
@@ -156,6 +176,12 @@ type workerState struct {
 	addr     string
 	lastBeat time.Duration
 	dead     bool
+
+	// cached is the worker's advertised input-block inventory, replaced
+	// wholesale by each report; lastCache is its latest cumulative cache
+	// counters, the baseline for folding per-report deltas into metrics.
+	cached    map[Split]struct{}
+	lastCache CacheStats
 }
 
 // distJob is the currently executing job's scheduling state.
@@ -193,6 +219,13 @@ type metrics struct {
 	duplicates    *obs.Counter
 	taskFailures  *obs.Counter
 	liveWorkers   *obs.Gauge
+
+	inputReads     *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheBytes     *obs.Gauge
+	localGrants    *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -207,6 +240,13 @@ func newMetrics(reg *obs.Registry) metrics {
 		duplicates:    reg.Counter("dist_duplicate_completions_total", "idempotently ignored duplicate task completions"),
 		taskFailures:  reg.Counter("dist_task_failures_total", "task attempts reported failed by workers"),
 		liveWorkers:   reg.Gauge("dist_live_workers", "registered workers not declared dead"),
+
+		inputReads:     reg.Counter("dist_input_reads_total", "input splits parsed from disk across all workers"),
+		cacheHits:      reg.Counter("dist_input_cache_hits_total", "input splits served from worker block caches"),
+		cacheMisses:    reg.Counter("dist_input_cache_misses_total", "input block cache lookups that missed"),
+		cacheEvictions: reg.Counter("dist_input_cache_evictions_total", "input blocks evicted to stay under the byte budget"),
+		cacheBytes:     reg.Gauge("dist_input_cache_bytes", "decoded input bytes resident in live workers' block caches"),
+		localGrants:    reg.Counter("dist_local_lease_grants_total", "map leases granted to a worker already caching the split"),
 	}
 }
 
@@ -319,6 +359,47 @@ func (t *leaseTable) heartbeat(id int, now time.Duration) bool {
 	return true
 }
 
+// advertiseCache ingests one worker's input-block inventory and cumulative
+// cache counters (register, heartbeat and complete all carry them). The
+// inventory replaces the previous advertisement wholesale — evictions
+// propagate exactly like insertions. Counter deltas against the worker's
+// last report fold into the master metrics; baseline (registration) installs
+// the report as the new delta floor WITHOUT counting it, because a rejoining
+// incarnation already reported those values under its old id. Cache state is
+// never journaled: a restarted master relearns placement from the first
+// heartbeat of each surviving worker.
+func (t *leaseTable) advertiseCache(id int, cached []Split, stats CacheStats, baseline bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workerLocked(id)
+	if w == nil || w.dead {
+		return
+	}
+	// Reports race: a heartbeat built before a map finished can arrive
+	// after that map's completion report. The worker stamps every report
+	// with a monotonic Seq; anything not strictly newer than the last
+	// ingested report is dropped whole, so a stale inventory can never
+	// clobber a fresher one and counter deltas never regress.
+	if stats.Seq != 0 && stats.Seq <= w.lastCache.Seq {
+		return
+	}
+	w.cached = make(map[Split]struct{}, len(cached))
+	for _, s := range cached {
+		w.cached[s] = struct{}{}
+	}
+	if !baseline {
+		t.m.inputReads.Add(float64(stats.Reads - w.lastCache.Reads))
+		t.m.cacheHits.Add(float64(stats.Hits - w.lastCache.Hits))
+		t.m.cacheMisses.Add(float64(stats.Misses - w.lastCache.Misses))
+		t.m.cacheEvictions.Add(float64(stats.Evictions - w.lastCache.Evictions))
+	}
+	// The gauge tracks resident bytes across live workers, so it moves by
+	// the delta on every report (from zero at registration) and is unwound
+	// when the worker dies.
+	t.m.cacheBytes.Add(float64(stats.Bytes - w.lastCache.Bytes))
+	w.lastCache = stats
+}
+
 // sweep advances the liveness and lease clocks: workers whose last
 // heartbeat is older than the timeout die (a beat exactly at the deadline
 // survives), and running tasks whose lease expired return to the idle pool
@@ -360,6 +441,12 @@ func (t *leaseTable) markDeadLocked(w *workerState, reason string) {
 	t.wal.append(walRecord{Rec: recWorkerDead, Worker: w.id}, false)
 	t.m.workerDeaths.Add(1)
 	t.m.liveWorkers.Add(-1)
+	// The block cache died with the process: retract its placement ads so
+	// no lease defers in favour of a ghost, and unwind the resident-bytes
+	// gauge.
+	w.cached = nil
+	t.m.cacheBytes.Add(-float64(w.lastCache.Bytes))
+	w.lastCache.Bytes = 0
 	t.log.Append(obs.LiveEvent{Event: "worker_dead", Worker: w.id, Addr: w.addr, Detail: reason})
 	if t.job == nil || t.job.finished() {
 		return
@@ -528,14 +615,55 @@ func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bo
 			return t.taskSpecLocked(j, task), false
 		}
 	}
+	// Placement-aware map selection, replacing the shared-filesystem
+	// assumption with real block placement. Three tiers, stall-free:
+	//
+	//  1. an idle map whose split this worker already caches — served from
+	//     memory, zero disk reads;
+	//  2. an idle map cached by no live worker — someone must read it from
+	//     disk, so this worker might as well (and cache it for later passes);
+	//  3. an idle map cached only on OTHER live workers — deferred for one
+	//     bounded grace window (HeartbeatTimeout: within it the caching
+	//     owner either polls or is declared dead, which clears its ads),
+	//     then granted to anyone. The preference costs at most one wait,
+	//     never progress.
 	var task *trackedTask
+	var local bool
+	var uncached *trackedTask
+	anyIdleMap := false
 	for _, m := range j.maps {
-		if m.state == taskIdle {
+		if m.state != taskIdle {
+			continue
+		}
+		anyIdleMap = true
+		if _, ok := w.cached[m.split]; ok {
 			task = m
+			local = true
 			break
 		}
+		if uncached == nil && !t.splitCachedLocked(m.split, id) {
+			uncached = m
+		}
 	}
-	if task == nil && j.mapsDone == len(j.maps) {
+	if task == nil {
+		task = uncached
+	}
+	if task == nil && anyIdleMap {
+		for _, m := range j.maps {
+			if m.state != taskIdle {
+				continue
+			}
+			if m.deferUntil == 0 {
+				m.deferUntil = now + t.cfg.HeartbeatTimeout
+				continue
+			}
+			if now >= m.deferUntil {
+				task = m
+				break
+			}
+		}
+	}
+	if task == nil && !anyIdleMap && j.mapsDone == len(j.maps) {
 		for _, r := range j.reduces {
 			if r.state == taskIdle {
 				task = r
@@ -550,12 +678,33 @@ func (t *leaseTable) lease(id int, now time.Duration) (spec *TaskSpec, rejoin bo
 	task.worker = id
 	task.attempts++
 	task.leaseExpiry = now + t.cfg.LeaseDeadline
+	task.deferUntil = 0
 	t.wal.append(walRecord{Rec: recLease, Seq: j.seq, Phase: task.phase,
 		Task: task.index + 1, Worker: id, Attempt: task.attempts}, false)
 	t.m.leaseGrants.Add(1)
+	detail := ""
+	if local {
+		t.m.localGrants.Add(1)
+		detail = "cached locally"
+	}
 	t.log.Append(obs.LiveEvent{Event: "lease_grant", Worker: id, Job: j.spec.Name,
-		Seq: j.seq, Phase: task.phase, Task: task.index + 1, Attempt: task.attempts})
+		Seq: j.seq, Phase: task.phase, Task: task.index + 1, Attempt: task.attempts,
+		Detail: detail})
 	return t.taskSpecLocked(j, task), false
+}
+
+// splitCachedLocked reports whether any live worker other than exclude
+// advertises the split as cached.
+func (t *leaseTable) splitCachedLocked(s Split, exclude int) bool {
+	for _, w := range t.workers {
+		if w.dead || w.id == exclude {
+			continue
+		}
+		if _, ok := w.cached[s]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // taskSpecLocked builds the wire spec for a leased task under the lock.

@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeInput writes content to a temp file and returns its path.
+func writeInput(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSplitFileEmptyInputRejected(t *testing.T) {
+	path := writeInput(t, "")
+	if _, err := splitFile(path, 2); err == nil {
+		t.Fatal("splitFile accepted an empty file")
+	}
+}
+
+func TestSplitFileMissingInputRejected(t *testing.T) {
+	if _, err := splitFile(filepath.Join(t.TempDir(), "nope"), 2); err == nil {
+		t.Fatal("splitFile accepted a missing file")
+	}
+}
+
+// TestSplitReadExactlyOnce is the core line-boundary contract: for any input
+// shape and any split count — including more splits than lines or bytes —
+// the splits cover the file exactly, and reading them all back yields every
+// record exactly once, in order. This is what keeps the distributed record
+// count (and the absolute min-support threshold derived from it)
+// byte-identical to the sim oracle.
+func TestSplitReadExactlyOnce(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		want    []string
+	}{
+		{"single line terminated", "only\n", []string{"only"}},
+		{"single line unterminated", "only", []string{"only"}},
+		{"no trailing newline", "a\nbb\nccc", []string{"a", "bb", "ccc"}},
+		{"blank lines", "\n\nx\n\n", []string{"", "", "x", ""}},
+		{"record spans split boundary",
+			"short\n" + strings.Repeat("w", 64) + "\ntail\n",
+			[]string{"short", strings.Repeat("w", 64), "tail"}},
+		{"one long line dwarfs every split",
+			strings.Repeat("z", 256) + "\n",
+			[]string{strings.Repeat("z", 256)}},
+		{"uniform records", strings.Repeat("item\n", 40),
+			append([]string(nil), splitRepeat("item", 40)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeInput(t, tc.content)
+			for _, minSplits := range []int{1, 2, 3, 5, 8, 1000} {
+				splits, err := splitFile(path, minSplits)
+				if err != nil {
+					t.Fatalf("minSplits=%d: %v", minSplits, err)
+				}
+				// Splits tile the file: contiguous, non-empty, full coverage.
+				var off int64
+				for _, s := range splits {
+					if s.Offset != off || s.Length <= 0 {
+						t.Fatalf("minSplits=%d: split %+v breaks tiling at offset %d",
+							minSplits, s, off)
+					}
+					off += s.Length
+				}
+				if off != int64(len(tc.content)) {
+					t.Fatalf("minSplits=%d: splits cover %d of %d bytes",
+						minSplits, off, len(tc.content))
+				}
+				// Reading every split back yields each record exactly once.
+				var got []string
+				for _, s := range splits {
+					lines, err := readSplit(s)
+					if err != nil {
+						t.Fatalf("minSplits=%d: readSplit(%+v): %v", minSplits, s, err)
+					}
+					for _, l := range lines {
+						got = append(got, l.text)
+					}
+				}
+				if len(got) != len(tc.want) {
+					t.Fatalf("minSplits=%d: %d records, want %d: %q",
+						minSplits, len(got), len(tc.want), got)
+				}
+				for i := range got {
+					if got[i] != tc.want[i] {
+						t.Fatalf("minSplits=%d: record %d = %q, want %q",
+							minSplits, i, got[i], tc.want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func splitRepeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func TestReadSplitInsideLongLineYieldsNothing(t *testing.T) {
+	// A split lying entirely inside a line started in an earlier split
+	// contributes no records: the line belongs to the split holding its
+	// first byte.
+	content := strings.Repeat("x", 100) + "\nend\n"
+	path := writeInput(t, content)
+	lines, err := readSplit(Split{Path: path, Offset: 10, Length: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 0 {
+		t.Fatalf("mid-line split produced records: %v", lines)
+	}
+}
+
+func TestReadSplitPastEOFYieldsNothing(t *testing.T) {
+	path := writeInput(t, "a\nb\n")
+	lines, err := readSplit(Split{Path: path, Offset: 100, Length: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 0 {
+		t.Fatalf("past-EOF split produced records: %v", lines)
+	}
+}

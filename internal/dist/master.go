@@ -252,9 +252,13 @@ func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	// Baseline, not delta: a rejoining incarnation's cumulative counters
+	// were already folded into the metrics under its previous id.
+	m.table.advertiseCache(id, req.Cached, req.Cache, true)
 	reply(w, RegisterResponse{
-		WorkerID:    id,
-		HeartbeatMs: m.cfg.HeartbeatInterval.Milliseconds(),
+		WorkerID:        id,
+		HeartbeatMs:     m.cfg.HeartbeatInterval.Milliseconds(),
+		InputCacheBytes: m.cfg.InputCacheBytes,
 	})
 }
 
@@ -264,6 +268,9 @@ func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ok := m.table.heartbeat(req.WorkerID, m.now())
+	if ok {
+		m.table.advertiseCache(req.WorkerID, req.Cached, req.Cache, false)
+	}
 	reply(w, HeartbeatResponse{OK: ok, Rejoin: !ok})
 }
 
@@ -285,6 +292,11 @@ func (m *Master) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	// Ingest the piggybacked cache advertisement first: a map task that
+	// just decoded a split must be preferred for it before the next pass's
+	// leases are cut, not one heartbeat later. No-ops for unknown or dead
+	// workers.
+	m.table.advertiseCache(req.WorkerID, req.Cached, req.Cache, false)
 	accepted, rejoin := m.table.complete(&req, m.now())
 	reply(w, CompleteResponse{Accepted: accepted, Rejoin: rejoin})
 }

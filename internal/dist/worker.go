@@ -71,11 +71,20 @@ type outputKey struct {
 	seq, mapIndex int
 }
 
+// cacheKey identifies one fetched distributed-cache blob. Keying by job Seq
+// lets a newer job's first task evict every older job's blobs (see
+// dropStaleCaches) instead of leaking them for the worker's lifetime.
+type cacheKey struct {
+	seq  int
+	name string
+}
+
 // worker is one worker process's runtime state.
 type worker struct {
 	opts   WorkerOptions
 	client *http.Client
 	log    *obs.EventLog
+	blocks *blockCache // decoded input blocks, budget set by the master
 
 	addr string // own map-output serving address
 
@@ -83,7 +92,7 @@ type worker struct {
 	id      int                           // current registration; changes on rejoin (see reregister)
 	hbMs    int64                         // master-assigned heartbeat cadence
 	outputs map[outputKey][]partitionData // completed map outputs by task
-	caches  map[string][]byte             // fetched cache blobs by seq\xffname
+	caches  map[cacheKey][]byte           // fetched cache blobs by job seq and name
 }
 
 // workerID returns the current registration's id. Re-registration (after a
@@ -107,8 +116,9 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		opts:    opts,
 		client:  &http.Client{Timeout: 30 * time.Second, Transport: opts.Transport},
 		log:     opts.Log,
+		blocks:  newBlockCache(DefaultTuning().InputCacheBytes),
 		outputs: map[outputKey][]partitionData{},
-		caches:  map[string][]byte{},
+		caches:  map[cacheKey][]byte{},
 	}
 
 	ln, err := net.Listen("tcp", opts.Addr)
@@ -212,12 +222,16 @@ func (w *worker) postJSON(ctx context.Context, path string, req, resp any) error
 	return fmt.Errorf("dist: %s: retries exhausted: %w", path, err)
 }
 
-// register announces the worker and adopts the master's heartbeat cadence,
-// re-advertising every map output it still serves: a worker that outlives a
+// register announces the worker and adopts the master's heartbeat cadence
+// and input-block-cache budget, re-advertising every map output it still
+// serves and every input block it still caches: a worker that outlives a
 // master restart (or its own declared death) hands the new master back the
-// partitions it would otherwise recompute.
+// partitions it would otherwise recompute and the placement hints it would
+// otherwise relearn one heartbeat later.
 func (w *worker) register(ctx context.Context) error {
-	req := RegisterRequest{Addr: w.addr, Outputs: w.outputAds()}
+	cached, stats := w.blocks.report()
+	req := RegisterRequest{Addr: w.addr, Outputs: w.outputAds(),
+		Cached: cached, Cache: stats}
 	var resp RegisterResponse
 	if err := w.postJSON(ctx, "/dist/register", req, &resp); err != nil {
 		return err
@@ -225,6 +239,9 @@ func (w *worker) register(ctx context.Context) error {
 	hbMs := resp.HeartbeatMs
 	if hbMs <= 0 {
 		hbMs = DefaultTuning().HeartbeatInterval.Milliseconds()
+	}
+	if resp.InputCacheBytes > 0 {
+		w.blocks.setBudget(resp.InputCacheBytes)
 	}
 	w.mu.Lock()
 	w.id = resp.WorkerID
@@ -283,8 +300,10 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 			return
 		case <-t.C:
 			id := w.workerID()
+			cached, stats := w.blocks.report()
 			var resp HeartbeatResponse
-			err := w.postJSON(ctx, "/dist/heartbeat", HeartbeatRequest{WorkerID: id}, &resp)
+			err := w.postJSON(ctx, "/dist/heartbeat", HeartbeatRequest{WorkerID: id,
+				Cached: cached, Cache: stats}, &resp)
 			if err == nil && resp.Rejoin {
 				w.reregister(ctx, id) //nolint:errcheck // retried next beat
 			}
@@ -350,6 +369,7 @@ func (w *worker) leaseLoop(ctx context.Context) error {
 // runTask executes one leased task and reports its completion. Failures are
 // reported, not returned: the master decides retry policy.
 func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
+	w.dropStaleCaches(task.Seq)
 	w.log.Append(obs.LiveEvent{Event: "task_start", Worker: w.workerID(), Job: task.Job,
 		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
 	req := &CompleteRequest{
@@ -374,6 +394,10 @@ func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
 			Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1,
 			Attempt: task.Attempt, Detail: err.Error()})
 	}
+	// Piggyback the block-cache inventory taken AFTER the task ran: a map
+	// task that just decoded its split advertises it on this very report,
+	// so the master prefers this worker for the split on the next pass.
+	req.Cached, req.Cache = w.blocks.report()
 	var resp CompleteResponse
 	// Completion reporting uses a context that survives the drain: a result
 	// computed before SIGTERM still reaches the master.
@@ -405,6 +429,20 @@ func (w *worker) runTask(ctx context.Context, task *TaskSpec) {
 		Seq: task.Seq, Phase: task.Phase, Task: task.Index + 1, Attempt: task.Attempt})
 }
 
+// dropStaleCaches evicts distributed-cache blobs of jobs older than seq.
+// Seqs increase monotonically and one job runs at a time, so a task from a
+// newer job proves every older job's blobs are dead weight; without this a
+// long-lived worker leaked every finished job's candidate batches.
+func (w *worker) dropStaleCaches(seq int) {
+	w.mu.Lock()
+	for k := range w.caches {
+		if k.seq < seq {
+			delete(w.caches, k)
+		}
+	}
+	w.mu.Unlock()
+}
+
 // cacheFiles assembles the task's distributed cache, fetching each blob
 // from the master once per job and memoizing it.
 func (w *worker) cacheFiles(ctx context.Context, task *TaskSpec) (mapreduce.CacheFiles, error) {
@@ -413,7 +451,7 @@ func (w *worker) cacheFiles(ctx context.Context, task *TaskSpec) (mapreduce.Cach
 	}
 	cache := make(mapreduce.CacheFiles, len(task.CacheNames))
 	for _, name := range task.CacheNames {
-		key := strconv.Itoa(task.Seq) + "\xff" + name
+		key := cacheKey{seq: task.Seq, name: name}
 		w.mu.Lock()
 		data, ok := w.caches[key]
 		w.mu.Unlock()
@@ -483,7 +521,10 @@ func (w *worker) runMap(ctx context.Context, task *TaskSpec) (int64, error) {
 	if err := mapper.Setup(cache, led); err != nil {
 		return 0, fmt.Errorf("map %d setup: %w", task.Index, err)
 	}
-	lines, err := readSplit(task.Split)
+	// The block cache is the fix for the paper's central Hadoop complaint:
+	// the first pass parses the split from disk, every later pass of the
+	// k-pass mining job replays the decoded records from memory.
+	lines, err := w.blocks.get(task.Split)
 	if err != nil {
 		return 0, fmt.Errorf("map %d read: %w", task.Index, err)
 	}

@@ -44,7 +44,7 @@ func TestReduceFetchBudget(t *testing.T) {
 		client:  &http.Client{Timeout: 10 * time.Second},
 		log:     log,
 		outputs: map[outputKey][]partitionData{},
-		caches:  map[string][]byte{},
+		caches:  map[cacheKey][]byte{},
 	}
 
 	task := &TaskSpec{
@@ -104,7 +104,7 @@ func TestReduceDrainBeatsBudget(t *testing.T) {
 		},
 		client:  &http.Client{Timeout: 10 * time.Second},
 		outputs: map[outputKey][]partitionData{},
-		caches:  map[string][]byte{},
+		caches:  map[cacheKey][]byte{},
 	}
 	task := &TaskSpec{
 		Job: "j", Seq: 1, Type: typ, Phase: PhaseReduce, Index: 0,

@@ -180,6 +180,16 @@ func (c *Counter) Add(v float64) {
 	c.g.mu.Unlock()
 }
 
+// Value returns the current counter value.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.g.mu.Lock()
+	defer c.g.mu.Unlock()
+	return c.s.value
+}
+
 // Gauge is a series that can move in both directions.
 type Gauge struct {
 	g *Registry
